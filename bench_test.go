@@ -1,0 +1,111 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment from
+// internal/bench and prints its report once.
+//
+// Scale knobs (defaults keep a full -bench=. run tractable):
+//
+//	HYQSAT_BENCH_PROBLEMS  instances per benchmark family (default 2)
+//	HYQSAT_BENCH_QUEUES    clause queues for Fig 13 (default 2)
+//	HYQSAT_BENCH_SAMPLES   samples for Fig 8 / Fig 15 (default 120)
+//
+// The paper's own scales (100 problems/family, 50 queues, 2000 samples) are
+// reproducible by raising these.
+package hyqsat_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"hyqsat/internal/bench"
+)
+
+func benchConfig() bench.Config {
+	cfg := bench.Config{Seed: 1}.WithDefaults()
+	if v, err := strconv.Atoi(os.Getenv("HYQSAT_BENCH_PROBLEMS")); err == nil && v > 0 {
+		cfg.ProblemsPerFamily = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("HYQSAT_BENCH_QUEUES")); err == nil && v > 0 {
+		cfg.Queues = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("HYQSAT_BENCH_SAMPLES")); err == nil && v > 0 {
+		cfg.Samples = v
+	}
+	return cfg
+}
+
+func runExperiment(b *testing.B, f func(bench.Config) *bench.Report) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rep := f(cfg)
+		if i == 0 {
+			rep.Fprint(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig1EndToEnd regenerates Figure 1: end-to-end time for one
+// 128-var/150-clause problem across CDCL, QA-only, and HyQSAT.
+func BenchmarkFig1EndToEnd(b *testing.B) { runExperiment(b, bench.Fig1) }
+
+// BenchmarkFig5VisitFrequency regenerates Figure 5: clause visit shares by
+// quintile, split into propagation and conflict visits.
+func BenchmarkFig5VisitFrequency(b *testing.B) { runExperiment(b, bench.Fig5) }
+
+// BenchmarkFig8EnergyDistribution regenerates Figure 8: energy distributions
+// and the Gaussian-Naive-Bayes confidence partition.
+func BenchmarkFig8EnergyDistribution(b *testing.B) { runExperiment(b, bench.Fig8) }
+
+// BenchmarkTable1IterationReduction regenerates Table I: iteration counts of
+// classic CDCL vs HyQSAT on the noise-free simulator for all 14 families.
+func BenchmarkTable1IterationReduction(b *testing.B) { runExperiment(b, bench.Table1) }
+
+// BenchmarkFig10StrategyAblation regenerates Figure 10: the per-strategy
+// reduction ablation.
+func BenchmarkFig10StrategyAblation(b *testing.B) { runExperiment(b, bench.Fig10) }
+
+// BenchmarkTable2EndToEnd regenerates Table II: end-to-end times for
+// MiniSAT/KisSAT on the CPU vs HyQSAT on the modelled D-Wave 2000Q.
+func BenchmarkTable2EndToEnd(b *testing.B) { runExperiment(b, bench.Table2) }
+
+// BenchmarkFig11TimeBreakdown regenerates Figure 11: the HyQSAT execution
+// time breakdown.
+func BenchmarkFig11TimeBreakdown(b *testing.B) { runExperiment(b, bench.Fig11) }
+
+// BenchmarkFig12DifficultyCorrelation regenerates Figure 12: speedup vs
+// conflict proportion and vs classical solve time.
+func BenchmarkFig12DifficultyCorrelation(b *testing.B) { runExperiment(b, bench.Fig12) }
+
+// BenchmarkFig13Embedding regenerates Figure 13: embedding time, success
+// rate, and chain length for the three embedding schemes.
+func BenchmarkFig13Embedding(b *testing.B) { runExperiment(b, bench.Fig13) }
+
+// BenchmarkFig14QueueAblation regenerates Figure 14: activity/BFS clause
+// queue vs a random queue.
+func BenchmarkFig14QueueAblation(b *testing.B) { runExperiment(b, bench.Fig14) }
+
+// BenchmarkFig15NoiseOptimization regenerates Figure 15: the coefficient
+// adjustment's effect on the energy gap and classification quality.
+func BenchmarkFig15NoiseOptimization(b *testing.B) { runExperiment(b, bench.Fig15) }
+
+// BenchmarkTable3Scalability regenerates Table III: iteration reduction on
+// growing Chimera grids under 10% bit-flip noise.
+func BenchmarkTable3Scalability(b *testing.B) { runExperiment(b, bench.Table3) }
+
+// --- Ablations of this reproduction's own design choices (see DESIGN.md) ---
+
+// BenchmarkAblationChainStrength sweeps the ferromagnetic chain coupling.
+func BenchmarkAblationChainStrength(b *testing.B) { runExperiment(b, bench.AblationChainStrength) }
+
+// BenchmarkAblationSchedule sweeps the annealing schedule length.
+func BenchmarkAblationSchedule(b *testing.B) { runExperiment(b, bench.AblationSchedule) }
+
+// BenchmarkAblationWarmup sweeps the hybrid warm-up budget around √K.
+func BenchmarkAblationWarmup(b *testing.B) { runExperiment(b, bench.AblationWarmup) }
+
+// BenchmarkAblationCoefficientAdjust toggles the §IV-C noise optimisation
+// inside the full hybrid loop.
+func BenchmarkAblationCoefficientAdjust(b *testing.B) {
+	runExperiment(b, bench.AblationCoefficientAdjust)
+}

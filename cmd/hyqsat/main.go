@@ -1,0 +1,118 @@
+// Command hyqsat solves a DIMACS CNF file with the HyQSAT hybrid solver or
+// one of the classical CDCL baselines.
+//
+// Usage:
+//
+//	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N] [-stats] file.cnf
+//
+// With no file, the formula is read from stdin. Exit status follows the SAT
+// competition convention: 10 satisfiable, 20 unsatisfiable, 1 error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/portfolio"
+	"hyqsat/internal/sat"
+)
+
+func main() {
+	solver := flag.String("solver", "hyqsat", "solver: hyqsat, minisat, kissat, or portfolio (race all three)")
+	mode := flag.String("mode", "hw", "QA mode for hyqsat: sim (noise-free) or hw (emulated D-Wave 2000Q)")
+	seed := flag.Int64("seed", 1, "random seed")
+	stats := flag.Bool("stats", false, "print solver statistics")
+	model := flag.Bool("model", true, "print the satisfying assignment")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyqsat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, err := cnf.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyqsat:", err)
+		os.Exit(1)
+	}
+
+	var status sat.Status
+	var assignment []bool
+	switch *solver {
+	case "minisat", "kissat":
+		opts := sat.MiniSATOptions()
+		if *solver == "kissat" {
+			opts = sat.KissatOptions()
+		}
+		opts.Seed = *seed
+		r := sat.New(formula, opts).Solve()
+		status, assignment = r.Status, r.Model
+		if *stats {
+			fmt.Printf("c iterations=%d decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n",
+				r.Stats.Iterations, r.Stats.Decisions, r.Stats.Conflicts,
+				r.Stats.Propagations, r.Stats.Restarts, r.Stats.Learned)
+		}
+	case "hyqsat":
+		opts := hyqsat.HardwareOptions()
+		if *mode == "sim" {
+			opts = hyqsat.SimulatorOptions()
+		}
+		opts.Seed = *seed
+		r := hyqsat.New(formula, opts).Solve()
+		status, assignment = r.Status, r.Model
+		if *stats {
+			st := r.Stats
+			fmt.Printf("c iterations=%d warmup=%d qacalls=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
+				st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.EmbeddedClauses,
+				st.Strategy1Hits, st.Strategy2Hits, st.Strategy3Hits, st.Strategy4Hits)
+			fmt.Printf("c frontend=%v qadevice=%v backend=%v cdcl=%v total=%v\n",
+				st.Frontend, st.QADevice, st.Backend, st.CDCL, st.Total())
+		}
+	case "portfolio":
+		out, err := portfolio.Solve(context.Background(), formula, portfolio.DefaultEntrants(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyqsat:", err)
+			os.Exit(1)
+		}
+		status, assignment = out.Result.Status, out.Result.Model
+		if *stats {
+			fmt.Printf("c winner=%s elapsed=%v iterations=%d\n",
+				out.Winner, out.Elapsed, out.Result.Stats.Iterations)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hyqsat: unknown solver %q\n", *solver)
+		os.Exit(1)
+	}
+
+	switch status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v")
+			for i := 0; i < formula.NumVars && i < len(assignment); i++ {
+				l := i + 1
+				if !assignment[i] {
+					l = -l
+				}
+				fmt.Printf(" %d", l)
+			}
+			fmt.Println(" 0")
+		}
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(0)
+	}
+}

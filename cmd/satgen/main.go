@@ -1,0 +1,58 @@
+// Command satgen generates benchmark instances from the paper's 14 families
+// (or raw random 3-SAT) and writes DIMACS CNF to stdout.
+//
+// Usage:
+//
+//	satgen -list
+//	satgen -family "AI3: UF200-860" -index 0
+//	satgen -random -vars 128 -clauses 150 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/gen"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the benchmark families")
+	family := flag.String("family", "", "family name (see -list)")
+	index := flag.Int("index", 0, "instance index within the family")
+	random := flag.Bool("random", false, "generate raw random 3-SAT instead")
+	vars := flag.Int("vars", 128, "variables for -random")
+	clauses := flag.Int("clauses", 150, "clauses for -random")
+	seed := flag.Int64("seed", 1, "seed for -random")
+	flag.Parse()
+
+	if *list {
+		for _, f := range gen.Families() {
+			fmt.Printf("%-20s  domain=%-24s  paper problems=%d\n", f.Name, f.Domain, f.PaperCount)
+		}
+		return
+	}
+
+	var inst *gen.Instance
+	switch {
+	case *random:
+		inst = gen.Random3SAT(*vars, *clauses, *seed)
+	case *family != "":
+		fam := gen.FamilyByName(*family)
+		if fam == nil {
+			fmt.Fprintf(os.Stderr, "satgen: unknown family %q (try -list)\n", *family)
+			os.Exit(1)
+		}
+		inst = fam.Make(*index)
+	default:
+		fmt.Fprintln(os.Stderr, "satgen: need -family, -random, or -list")
+		os.Exit(1)
+	}
+
+	fmt.Printf("c %s (domain %s, expected %v)\n", inst.Name, inst.Domain, inst.Expected)
+	if err := cnf.WriteDIMACS(os.Stdout, inst.Formula); err != nil {
+		fmt.Fprintln(os.Stderr, "satgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+// Graph colouring with HyQSAT: generate a flat 3-colourable graph (the
+// paper's GC benchmark family), encode 3-colouring as SAT, solve with both
+// the classical baseline and the hybrid solver, and decode the colouring.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyqsat/internal/gen"
+	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/sat"
+)
+
+func main() {
+	const vertices, edges = 150, 360 // the paper's flat150-360 size
+	inst := gen.FlatGraphColoring(vertices, edges, 7)
+	fmt.Printf("instance %s: %d variables, %d clauses\n",
+		inst.Name, inst.Formula.NumVars, inst.Formula.NumClauses())
+
+	// Classical baseline.
+	rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+	fmt.Printf("classic CDCL:  %v in %d iterations\n", rc.Status, rc.Stats.Iterations)
+
+	// Hybrid solver on the noise-free simulator.
+	opts := hyqsat.SimulatorOptions()
+	opts.Seed = 7
+	rh := hyqsat.New(inst.Formula.Copy(), opts).Solve()
+	fmt.Printf("HyQSAT (sim):  %v in %d iterations (%d on QA)\n",
+		rh.Status, rh.Stats.SAT.Iterations, rh.Stats.WarmupIterations)
+	if rh.Status != sat.Sat {
+		log.Fatal("flat graphs are 3-colourable by construction")
+	}
+
+	// Decode: variable v*3+c ⇔ vertex v has colour c.
+	colors := make([]int, vertices)
+	for v := 0; v < vertices; v++ {
+		for c := 0; c < 3; c++ {
+			if rh.Model[v*3+c] {
+				colors[v] = c
+			}
+		}
+	}
+	counts := [3]int{}
+	for _, c := range colors {
+		counts[c]++
+	}
+	fmt.Printf("colour class sizes: %v\n", counts)
+	fmt.Printf("first vertices: %v\n", colors[:10])
+}

@@ -1,0 +1,3 @@
+module hyqsat
+
+go 1.22

@@ -1,0 +1,448 @@
+// Package anneal is the quantum-annealer substitute of this reproduction:
+// a simulated-annealing Ising sampler that executes on the *embedded*
+// hardware graph, exactly as the paper's own noise-free simulator (built on
+// D-Wave's neal sampler) does. Logical problems are mapped onto qubit chains
+// (ferromagnetic intra-chain couplers, h and J split across chain qubits and
+// inter-chain couplers), samples are drawn with Metropolis sweeps under a
+// geometric β schedule, chains are read back by majority vote, and an
+// optional noise model reproduces the error processes of real hardware:
+// Gaussian programming error on coefficients, per-qubit readout flips, and
+// truncated schedules that get trapped in local minima.
+//
+// Wall-clock device time is *modelled*, not measured: TimingModel charges
+// the D-Wave 2000Q datasheet costs per sample, which is how the paper
+// composes its end-to-end numbers too.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"hyqsat/internal/chimera"
+	"hyqsat/internal/embed"
+	"hyqsat/internal/qubo"
+)
+
+// Noise configures the hardware error model.
+type Noise struct {
+	// CoefficientSigma is the standard deviation of the Gaussian programming
+	// error applied to every h and J, relative to the largest coefficient
+	// magnitude. D-Wave 2000Q integrated control errors are a few percent.
+	CoefficientSigma float64
+	// ReadoutFlipProb is the probability that a qubit's measured value is
+	// flipped at readout.
+	ReadoutFlipProb float64
+}
+
+// NoNoise is the noise-free simulator configuration.
+var NoNoise = Noise{}
+
+// DWave2000QNoise approximates the error magnitudes of the real device.
+var DWave2000QNoise = Noise{CoefficientSigma: 0.03, ReadoutFlipProb: 0.01}
+
+// Schedule is the annealing schedule: Sweeps full Metropolis passes with
+// inverse temperature rising geometrically from BetaMin to BetaMax.
+type Schedule struct {
+	Sweeps  int
+	BetaMin float64
+	BetaMax float64
+}
+
+// DefaultSchedule mirrors the neal sampler defaults at a sweep count that
+// behaves like a fast hardware anneal.
+func DefaultSchedule() Schedule { return Schedule{Sweeps: 64, BetaMin: 0.1, BetaMax: 32} }
+
+// LongSchedule is the "long timeout" schedule the paper uses for its
+// noise-free simulator, converging far more reliably.
+func LongSchedule() Schedule { return Schedule{Sweeps: 512, BetaMin: 0.05, BetaMax: 64} }
+
+// EmbeddedProblem is a logical Ising model programmed onto hardware qubits
+// through an embedding: per-qubit fields, per-coupler strengths, and the
+// chain structure needed to read results back.
+type EmbeddedProblem struct {
+	Graph     *chimera.Graph
+	Embedding *embed.Embedding
+
+	Qubits  []int         // the active qubits, in a fixed order
+	qubitIx map[int]int   // qubit id → index into Qubits
+	H       []float64     // field per active qubit (indexed as Qubits)
+	adj     [][]coupling  // adjacency with coupler strengths
+	nodeOf  []int         // active-qubit index → logical node
+	chains  map[int][]int // logical node → active-qubit indices
+	offset  float64       // constant term of the logical Ising model
+}
+
+type coupling struct {
+	other int // active-qubit index
+	j     float64
+}
+
+// ChainStrengthFor returns a reasonable ferromagnetic chain coupling for a
+// logical Ising model: 1.25× the largest coefficient magnitude, the usual
+// rule of thumb for D-Wave embeddings. Isolated sampling slightly favours
+// weaker chains (bench.AblationChainStrength: majority vote repairs breaks),
+// but end-to-end hybrid guidance measures better with intact chains, so the
+// conventional value stands; hyqsat.Options.ChainStrengthMult overrides it.
+func ChainStrengthFor(is *qubo.Ising) float64 {
+	max := 0.0
+	for _, h := range is.H {
+		if v := math.Abs(h); v > max {
+			max = v
+		}
+	}
+	for _, j := range is.J {
+		if v := math.Abs(j); v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1.25 * max
+}
+
+// EmbedIsing programs a logical Ising model onto hardware through an
+// embedding: each node's field is split across its chain, each logical
+// coupling is split across the couplers available between the two chains,
+// and chain qubits are bound with a ferromagnetic coupling of the given
+// strength. Logical nodes must be present in the embedding; couplings whose
+// endpoints both embedded must be realised by at least one coupler.
+func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g *chimera.Graph, chainStrength float64) *EmbeddedProblem {
+	ep := &EmbeddedProblem{
+		Graph:     g,
+		Embedding: emb,
+		qubitIx:   map[int]int{},
+		chains:    map[int][]int{},
+		offset:    is.Offset,
+	}
+	nodes := make([]int, 0, len(emb.Chains))
+	for node := range emb.Chains {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		for _, q := range emb.Chains[node] {
+			if _, ok := ep.qubitIx[q]; !ok {
+				ep.qubitIx[q] = len(ep.Qubits)
+				ep.Qubits = append(ep.Qubits, q)
+				ep.nodeOf = append(ep.nodeOf, node)
+			}
+		}
+	}
+	n := len(ep.Qubits)
+	ep.H = make([]float64, n)
+	ep.adj = make([][]coupling, n)
+	for _, node := range nodes {
+		chain := emb.Chains[node]
+		ix := make([]int, len(chain))
+		for i, q := range chain {
+			ix[i] = ep.qubitIx[q]
+		}
+		ep.chains[node] = ix
+		if h, ok := is.H[node]; ok && len(chain) > 0 {
+			per := h / float64(len(chain))
+			for _, i := range ix {
+				ep.H[i] += per
+			}
+		}
+		// Ferromagnetic chain couplers.
+		for _, c := range embed.IntraChainCouplers(g, chain) {
+			ep.addCoupler(c.A, c.B, -chainStrength)
+		}
+	}
+	jEdges := make([]qubo.Edge, 0, len(is.J))
+	for e := range is.J {
+		jEdges = append(jEdges, e)
+	}
+	sort.Slice(jEdges, func(i, k int) bool {
+		if jEdges[i].U != jEdges[k].U {
+			return jEdges[i].U < jEdges[k].U
+		}
+		return jEdges[i].V < jEdges[k].V
+	})
+	for _, e := range jEdges {
+		j := is.J[e]
+		if _, ok := emb.Chains[e.U]; !ok {
+			continue
+		}
+		if _, ok := emb.Chains[e.V]; !ok {
+			continue
+		}
+		couplers := embed.InterChainCouplers(g, emb, e.U, e.V)
+		if len(couplers) == 0 {
+			panic("anneal: logical coupling with no hardware coupler; embedding invalid")
+		}
+		per := j / float64(len(couplers))
+		for _, c := range couplers {
+			ep.addCoupler(c.A, c.B, per)
+		}
+	}
+	return ep
+}
+
+func (ep *EmbeddedProblem) addCoupler(qa, qb int, j float64) {
+	a, b := ep.qubitIx[qa], ep.qubitIx[qb]
+	ep.adj[a] = append(ep.adj[a], coupling{b, j})
+	ep.adj[b] = append(ep.adj[b], coupling{a, j})
+}
+
+// NumActiveQubits returns the number of qubits carrying the problem.
+func (ep *EmbeddedProblem) NumActiveQubits() int { return len(ep.Qubits) }
+
+// Sample is the result of one hardware sample: raw qubit spins, the
+// majority-voted logical values, how many chains were broken, and the raw
+// hardware energy.
+type Sample struct {
+	NodeValues     map[int]bool // logical node → value (x = spin up)
+	BrokenChains   int
+	HardwareEnergy float64 // Ising energy of the raw spins, incl. chain terms
+}
+
+// Sampler draws samples from embedded problems.
+type Sampler struct {
+	Schedule Schedule
+	Noise    Noise
+	Rng      *rand.Rand
+}
+
+// NewSampler returns a sampler with the given schedule and noise, seeded
+// deterministically.
+func NewSampler(sched Schedule, noise Noise, seed int64) *Sampler {
+	return &Sampler{Schedule: sched, Noise: noise, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// SampleOnce draws a single hardware sample (one anneal + readout), the mode
+// HyQSAT uses: errors are absorbed by the CDCL loop instead of by repeated
+// sampling.
+func (s *Sampler) SampleOnce(ep *EmbeddedProblem) Sample {
+	n := len(ep.Qubits)
+	h := ep.H
+	adj := ep.adj
+	// Programming noise: perturb a copy of the coefficients.
+	if s.Noise.CoefficientSigma > 0 {
+		scale := 0.0
+		for _, v := range h {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range adj {
+			for _, c := range adj[i] {
+				if a := math.Abs(c.j); a > scale {
+					scale = a
+				}
+			}
+		}
+		sigma := s.Noise.CoefficientSigma * scale
+		h = append([]float64(nil), ep.H...)
+		for i := range h {
+			h[i] += sigma * s.Rng.NormFloat64()
+		}
+		adj = make([][]coupling, n)
+		// Perturb couplers symmetrically: precompute one perturbation per
+		// unordered pair.
+		pert := map[[2]int]float64{}
+		for i := range ep.adj {
+			for _, c := range ep.adj[i] {
+				key := [2]int{i, c.other}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if _, ok := pert[key]; !ok {
+					pert[key] = sigma * s.Rng.NormFloat64()
+				}
+				adj[i] = append(adj[i], coupling{c.other, c.j + pert[key]})
+			}
+		}
+	}
+
+	// Random initial state, chain-aligned: the device initialises in a
+	// superposition and strong chain couplers keep chains coherent; a chain
+	// starts as one logical spin.
+	spins := make([]int8, n)
+	for i := range spins {
+		spins[i] = 1
+	}
+	{
+		chainNodes := make([]int, 0, len(ep.chains))
+		for node := range ep.chains {
+			chainNodes = append(chainNodes, node)
+		}
+		sort.Ints(chainNodes)
+		for _, node := range chainNodes {
+			v := int8(1)
+			if s.Rng.Intn(2) == 0 {
+				v = -1
+			}
+			for _, i := range ep.chains[node] {
+				spins[i] = v
+			}
+		}
+	}
+
+	// Metropolis sweeps with geometric β schedule. Moves are chain-level
+	// (an intact chain behaves as one logical spin in the device; the strong
+	// ferromagnetic coupling makes independent qubit flips within a chain
+	// exponentially unlikely), followed by a short single-qubit phase that
+	// lets hardware imperfection express itself, including chain breaks.
+	sched := s.Schedule
+	if sched.Sweeps <= 0 {
+		sched = DefaultSchedule()
+	}
+	beta := sched.BetaMin
+	ratio := 1.0
+	if sched.Sweeps > 1 {
+		ratio = math.Pow(sched.BetaMax/sched.BetaMin, 1/float64(sched.Sweeps-1))
+	}
+	chainNodes := make([]int, 0, len(ep.chains))
+	for node := range ep.chains {
+		chainNodes = append(chainNodes, node)
+	}
+	sort.Ints(chainNodes)
+	chainList := make([][]int, 0, len(ep.chains))
+	for _, node := range chainNodes {
+		chainList = append(chainList, ep.chains[node])
+	}
+	node := ep.nodeOf
+	for sweep := 0; sweep < sched.Sweeps; sweep++ {
+		for _, ix := range chainList {
+			// ΔE of flipping the whole chain: internal couplers are
+			// unchanged, only fields and chain-boundary couplers count.
+			sum := 0.0
+			for _, i := range ix {
+				local := h[i]
+				for _, c := range adj[i] {
+					if node[c.other] != node[i] {
+						local += c.j * float64(spins[c.other])
+					}
+				}
+				sum += float64(spins[i]) * local
+			}
+			dE := -2 * sum
+			if dE <= 0 || s.Rng.Float64() < math.Exp(-beta*dE) {
+				for _, i := range ix {
+					spins[i] = -spins[i]
+				}
+			}
+		}
+		beta *= ratio
+	}
+	// Single-qubit relaxation at final β.
+	qubitSweeps := sched.Sweeps / 16
+	if qubitSweeps < 2 {
+		qubitSweeps = 2
+	}
+	for sweep := 0; sweep < qubitSweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			local := h[i]
+			for _, c := range adj[i] {
+				local += c.j * float64(spins[c.other])
+			}
+			dE := -2 * float64(spins[i]) * local
+			if dE <= 0 || s.Rng.Float64() < math.Exp(-sched.BetaMax*dE) {
+				spins[i] = -spins[i]
+			}
+		}
+	}
+
+	// Readout noise.
+	if s.Noise.ReadoutFlipProb > 0 {
+		for i := range spins {
+			if s.Rng.Float64() < s.Noise.ReadoutFlipProb {
+				spins[i] = -spins[i]
+			}
+		}
+	}
+
+	// Hardware energy of the read spins (with the true, unperturbed
+	// coefficients — that is what the device reports).
+	energy := ep.offset
+	for i := 0; i < n; i++ {
+		energy += ep.H[i] * float64(spins[i])
+		for _, c := range ep.adj[i] {
+			if c.other > i {
+				energy += c.j * float64(spins[i]) * float64(spins[c.other])
+			}
+		}
+	}
+
+	// Unembed: majority vote per chain (sorted node order keeps the
+	// tie-breaking RNG stream deterministic).
+	values := make(map[int]bool, len(ep.chains))
+	broken := 0
+	for _, node := range chainNodes {
+		ix := ep.chains[node]
+		up, down := 0, 0
+		for _, i := range ix {
+			if spins[i] > 0 {
+				up++
+			} else {
+				down++
+			}
+		}
+		if up > 0 && down > 0 {
+			broken++
+		}
+		switch {
+		case up > down:
+			values[node] = true
+		case down > up:
+			values[node] = false
+		default:
+			values[node] = s.Rng.Intn(2) == 0
+		}
+	}
+	return Sample{NodeValues: values, BrokenChains: broken, HardwareEnergy: energy}
+}
+
+// SampleLogical anneals a logical Ising model directly (no embedding): the
+// idealised noise-free simulator over the problem graph. numNodes bounds the
+// node index space.
+func (s *Sampler) SampleLogical(is *qubo.Ising, numNodes int) map[int]bool {
+	// Build dense adjacency.
+	h := make([]float64, numNodes)
+	for i, v := range is.H {
+		h[i] = v
+	}
+	adj := make([][]coupling, numNodes)
+	for e, j := range is.J {
+		adj[e.U] = append(adj[e.U], coupling{e.V, j})
+		adj[e.V] = append(adj[e.V], coupling{e.U, j})
+	}
+	spins := make([]int8, numNodes)
+	for i := range spins {
+		if s.Rng.Intn(2) == 0 {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	sched := s.Schedule
+	if sched.Sweeps <= 0 {
+		sched = DefaultSchedule()
+	}
+	beta := sched.BetaMin
+	ratio := 1.0
+	if sched.Sweeps > 1 {
+		ratio = math.Pow(sched.BetaMax/sched.BetaMin, 1/float64(sched.Sweeps-1))
+	}
+	for sweep := 0; sweep < sched.Sweeps; sweep++ {
+		for i := 0; i < numNodes; i++ {
+			local := h[i]
+			for _, c := range adj[i] {
+				local += c.j * float64(spins[c.other])
+			}
+			dE := -2 * float64(spins[i]) * local
+			if dE <= 0 || s.Rng.Float64() < math.Exp(-beta*dE) {
+				spins[i] = -spins[i]
+			}
+		}
+		beta *= ratio
+	}
+	out := make(map[int]bool, numNodes)
+	for i, sp := range spins {
+		out[i] = sp > 0
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package anneal
+
+import "time"
+
+// TimingModel charges the wall-clock costs of a quantum annealer access.
+// The defaults follow the paper's experiment setup on D-Wave 2000Q:
+// 20 µs annealing time, 110 µs readout time, 20 µs delay between samples
+// (Fig 1 and §VI-A), giving the ≈130 µs single-sample access the paper
+// quotes. These durations are *modelled* and added to the measured CPU time
+// when composing HyQSAT end-to-end numbers — the same composition the paper
+// performs with the real device.
+type TimingModel struct {
+	AnnealTime       time.Duration
+	ReadoutTime      time.Duration
+	InterSampleDelay time.Duration
+	// ProgrammingTime is charged once per problem programming; with the
+	// FPGA-side integration of §VII-A it is sub-microsecond, which is the
+	// regime HyQSAT assumes.
+	ProgrammingTime time.Duration
+}
+
+// DWave2000QTiming returns the paper's device timing configuration.
+func DWave2000QTiming() TimingModel {
+	return TimingModel{
+		AnnealTime:       20 * time.Microsecond,
+		ReadoutTime:      110 * time.Microsecond,
+		InterSampleDelay: 20 * time.Microsecond,
+		ProgrammingTime:  1 * time.Microsecond,
+	}
+}
+
+// AccessTime returns the modelled device time for drawing n samples from one
+// programmed problem: programming + n·(anneal+readout) + (n−1)·delay.
+func (t TimingModel) AccessTime(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return t.ProgrammingTime +
+		time.Duration(n)*(t.AnnealTime+t.ReadoutTime) +
+		time.Duration(n-1)*t.InterSampleDelay
+}
+
+// SampleTime is AccessTime(1): the cost HyQSAT pays per iteration, since it
+// executes a single sample and lets CDCL absorb errors.
+func (t TimingModel) SampleTime() time.Duration { return t.AccessTime(1) }

@@ -1,0 +1,177 @@
+// Package bench reproduces every table and figure of the paper's evaluation
+// (§VI): per-experiment runners generate the paper's workloads, execute the
+// solvers, and print the same rows/series the paper reports. Absolute times
+// differ from the paper (different CPU; QA device time is modelled), but the
+// shapes — who wins, by what factor, where crossovers fall — are the
+// reproduction target. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Config scales the experiments. The paper's instance counts (e.g. 100
+// problems per AI family) are impractical for a quick run; ProblemsPerFamily
+// trims every family uniformly.
+type Config struct {
+	// ProblemsPerFamily caps instances per benchmark family (default 2).
+	ProblemsPerFamily int
+	// Queues is the number of clause queues for the Fig 13 embedding
+	// comparison (paper: 50; default 2).
+	Queues int
+	// Samples is the number of QA samples for distribution experiments
+	// (Fig 8, Fig 15; paper: 1000 per class; default 120).
+	Samples int
+	// Seed drives all instance generation.
+	Seed int64
+	// EmbedTimeout bounds each baseline embedder run in the Fig 13
+	// comparison, in seconds (paper: 300; default 10).
+	EmbedTimeoutSec int
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.ProblemsPerFamily == 0 {
+		c.ProblemsPerFamily = 2
+	}
+	if c.Queues == 0 {
+		c.Queues = 2
+	}
+	if c.Samples == 0 {
+		c.Samples = 120
+	}
+	if c.EmbedTimeoutSec == 0 {
+		c.EmbedTimeoutSec = 10
+	}
+	return c
+}
+
+// Report is the printable result of one experiment.
+type Report struct {
+	ID     string // e.g. "table1", "fig13"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (r *Report) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Note records a free-form observation below the table.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintln(w, "  note: "+n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var sb strings.Builder
+	r.Fprint(&sb)
+	return sb.String()
+}
+
+// reductionStats summarises per-instance reduction ratios the way Table I
+// does: arithmetic mean, geometric mean, max, and min.
+type reductionStats struct {
+	Avg, Geomean, Max, Min float64
+}
+
+func summarizeReductions(ratios []float64) reductionStats {
+	if len(ratios) == 0 {
+		return reductionStats{}
+	}
+	s := reductionStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	logSum := 0.0
+	for _, r := range ratios {
+		s.Avg += r
+		logSum += math.Log(r)
+		if r > s.Max {
+			s.Max = r
+		}
+		if r < s.Min {
+			s.Min = r
+		}
+	}
+	s.Avg /= float64(len(ratios))
+	s.Geomean = math.Exp(logSum / float64(len(ratios)))
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// pearson computes the linear correlation coefficient of two series.
+func pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,108 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format. Comment lines ("c ...")
+// are ignored; the problem line ("p cnf <vars> <clauses>") is optional but,
+// when present, fixes the variable count (clauses may still grow it). Clauses
+// are zero-terminated and may span multiple lines.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var cur Clause
+	declaredClauses := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", lineNo, err)
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count: %v", lineNo, err)
+			}
+			f.NumVars = nv
+			declaredClauses = nc
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			// SATLIB files end with "%\n0"; stop parsing there.
+			break
+		}
+		for _, tok := range strings.Fields(line) {
+			d, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
+			}
+			if d == 0 {
+				f.AddClause(cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, LitFromDimacs(d))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(cur) > 0 {
+		f.AddClause(cur)
+	}
+	if declaredClauses >= 0 && declaredClauses != len(f.Clauses) {
+		// Tolerated: many published instances have wrong headers. The parsed
+		// clause set wins.
+		_ = declaredClauses
+	}
+	return f, nil
+}
+
+// ParseDIMACSString is ParseDIMACS over an in-memory string.
+func ParseDIMACSString(s string) (*Formula, error) {
+	return ParseDIMACS(strings.NewReader(s))
+}
+
+// WriteDIMACS writes f in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l.Dimacs()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DIMACSString renders f as a DIMACS CNF string.
+func DIMACSString(f *Formula) string {
+	var sb strings.Builder
+	if err := WriteDIMACS(&sb, f); err != nil {
+		// strings.Builder never fails; defensive only.
+		panic(err)
+	}
+	return sb.String()
+}

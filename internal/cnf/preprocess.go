@@ -1,0 +1,195 @@
+package cnf
+
+// Preprocess applies the classic satisfiability-preserving simplifications —
+// unit propagation, pure-literal elimination, tautology removal, and
+// subsumption — and returns the simplified formula together with the partial
+// assignment the simplifications fixed. A model of the simplified formula
+// extended with the fixed assignment is a model of the original.
+//
+// The simplified formula keeps the original variable numbering; eliminated
+// variables simply no longer appear. If the formula is refuted outright,
+// Preprocess returns ok=false.
+type PreprocessResult struct {
+	Formula *Formula
+	// Fixed holds the assignments forced by unit propagation and chosen by
+	// pure-literal elimination.
+	Fixed Assignment
+	// Stats of the simplification.
+	Units, Pures, Subsumed, Tautologies int
+}
+
+// Preprocess simplifies f. It does not modify f.
+func Preprocess(f *Formula) (*PreprocessResult, bool) {
+	res := &PreprocessResult{Fixed: NewAssignment(f.NumVars)}
+
+	clauses := make([]Clause, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		n := c.Normalized()
+		if n.IsTautology() {
+			res.Tautologies++
+			continue
+		}
+		clauses = append(clauses, n)
+	}
+
+	changed := true
+	for changed {
+		changed = false
+
+		// Unit propagation.
+		for {
+			unit := NoLit
+			for _, c := range clauses {
+				live, sat := reduceClause(c, res.Fixed)
+				if sat {
+					continue
+				}
+				if len(live) == 0 {
+					return nil, false // refuted
+				}
+				if len(live) == 1 {
+					unit = live[0]
+					break
+				}
+			}
+			if unit == NoLit {
+				break
+			}
+			if res.Fixed.Lit(unit) == False {
+				return nil, false
+			}
+			res.Fixed.Set(unit.Var(), !unit.IsNeg())
+			res.Units++
+			changed = true
+		}
+
+		// Pure literals: variables appearing with a single polarity among
+		// the not-yet-satisfied clauses.
+		polarity := make(map[Var]int8) // 1 pos, 2 neg, 3 both
+		for _, c := range clauses {
+			live, sat := reduceClause(c, res.Fixed)
+			if sat {
+				continue
+			}
+			for _, l := range live {
+				if l.IsNeg() {
+					polarity[l.Var()] |= 2
+				} else {
+					polarity[l.Var()] |= 1
+				}
+			}
+		}
+		for v, p := range polarity {
+			if res.Fixed[v] != Undef {
+				continue
+			}
+			if p == 1 || p == 2 {
+				res.Fixed.Set(v, p == 1)
+				res.Pures++
+				changed = true
+			}
+		}
+	}
+
+	// Materialise the residual clauses and drop subsumed ones.
+	var residual []Clause
+	for _, c := range clauses {
+		live, sat := reduceClause(c, res.Fixed)
+		if sat {
+			continue
+		}
+		residual = append(residual, live)
+	}
+	residual, res.Subsumed = dropSubsumed(residual)
+
+	out := &Formula{NumVars: f.NumVars, Clauses: residual}
+	res.Formula = out
+	return res, true
+}
+
+// reduceClause returns the unassigned literals of c under the assignment,
+// and whether the clause is already satisfied.
+func reduceClause(c Clause, a Assignment) (Clause, bool) {
+	live := make(Clause, 0, len(c))
+	for _, l := range c {
+		switch a.Lit(l) {
+		case True:
+			return nil, true
+		case Undef:
+			live = append(live, l)
+		}
+	}
+	return live, false
+}
+
+// dropSubsumed removes clauses that are supersets of another clause.
+// Quadratic with a signature prefilter; intended for preprocessing, not for
+// in-search use.
+func dropSubsumed(clauses []Clause) ([]Clause, int) {
+	type sig struct {
+		c    Clause
+		set  map[Lit]struct{}
+		mask uint64
+	}
+	sigs := make([]sig, len(clauses))
+	for i, c := range clauses {
+		set := make(map[Lit]struct{}, len(c))
+		var mask uint64
+		for _, l := range c {
+			set[l] = struct{}{}
+			mask |= 1 << (uint(l) % 64)
+		}
+		sigs[i] = sig{c, set, mask}
+	}
+	removed := make([]bool, len(clauses))
+	count := 0
+	for i := range sigs {
+		if removed[i] {
+			continue
+		}
+		for j := range sigs {
+			if i == j || removed[j] || removed[i] {
+				continue
+			}
+			// Does clause i subsume clause j? (i ⊆ j, so j is redundant.)
+			if len(sigs[i].c) > len(sigs[j].c) {
+				continue
+			}
+			if sigs[i].mask&^sigs[j].mask != 0 {
+				continue // some literal of i cannot be in j
+			}
+			subset := true
+			for _, l := range sigs[i].c {
+				if _, ok := sigs[j].set[l]; !ok {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				removed[j] = true
+				count++
+			}
+		}
+	}
+	var out []Clause
+	for i, c := range clauses {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out, count
+}
+
+// ExtendModel merges a model of the preprocessed formula with the fixed
+// assignment into a model of the original formula. Variables constrained by
+// neither (eliminated entirely) default to false.
+func (r *PreprocessResult) ExtendModel(model []bool) []bool {
+	out := make([]bool, len(r.Fixed))
+	copy(out, model)
+	for v, val := range r.Fixed {
+		if val != Undef {
+			out[v] = val == True
+		}
+	}
+	return out
+}

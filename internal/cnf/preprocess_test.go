@@ -1,0 +1,153 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPreprocessUnitChain(t *testing.T) {
+	f := New(4)
+	f.Add(1)
+	f.Add(-1, 2)
+	f.Add(-2, 3)
+	f.Add(-3, 4)
+	res, ok := Preprocess(f)
+	if !ok {
+		t.Fatal("refuted a satisfiable formula")
+	}
+	if res.Units != 4 {
+		t.Fatalf("units = %d, want 4", res.Units)
+	}
+	if res.Formula.NumClauses() != 0 {
+		t.Fatalf("residual clauses: %v", res.Formula.Clauses)
+	}
+	m := res.ExtendModel(nil)
+	if !FromBools(m).Satisfies(f) {
+		t.Fatal("extended model invalid")
+	}
+}
+
+func TestPreprocessRefutation(t *testing.T) {
+	f := New(1)
+	f.Add(1)
+	f.Add(-1)
+	if _, ok := Preprocess(f); ok {
+		t.Fatal("x ∧ ¬x not refuted")
+	}
+}
+
+func TestPreprocessPureLiterals(t *testing.T) {
+	// x2 appears only positively: pure.
+	f := New(3)
+	f.Add(1, 2)
+	f.Add(-1, 2)
+	f.Add(1, -3)
+	res, ok := Preprocess(f)
+	if !ok {
+		t.Fatal("refuted")
+	}
+	if res.Pures == 0 {
+		t.Fatal("no pure literal found")
+	}
+	if res.Fixed[1] != True {
+		t.Fatalf("x2 fixed to %v, want true", res.Fixed[1])
+	}
+}
+
+func TestPreprocessSubsumption(t *testing.T) {
+	f := New(3)
+	f.Add(1, 2)
+	f.Add(1, 2, 3)    // subsumed by the first
+	f.Add(-1, -2, -3) // blocks pure-literal elimination
+	res, ok := Preprocess(f)
+	if !ok {
+		t.Fatal("refuted")
+	}
+	if res.Subsumed != 1 {
+		t.Fatalf("subsumed = %d, want 1", res.Subsumed)
+	}
+	if res.Formula.NumClauses() != 2 {
+		t.Fatalf("residual = %v", res.Formula.Clauses)
+	}
+}
+
+func TestPreprocessTautologies(t *testing.T) {
+	f := New(2)
+	f.Add(1, -1)
+	f.Add(2)
+	res, ok := Preprocess(f)
+	if !ok || res.Tautologies != 1 {
+		t.Fatalf("ok=%v tautologies=%d", ok, res.Tautologies)
+	}
+}
+
+// brute reports satisfiability and one model by enumeration.
+func brute(f *Formula) (bool, []bool) {
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		a := NewAssignment(f.NumVars)
+		for i := 0; i < f.NumVars; i++ {
+			a.Set(Var(i), mask&(1<<i) != 0)
+		}
+		if a.Satisfies(f) {
+			return true, a.Bools()
+		}
+	}
+	return false, nil
+}
+
+func TestPreprocessPreservesSatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		nv := rng.Intn(8) + 2
+		f := New(nv)
+		for i := 0; i < rng.Intn(20)+1; i++ {
+			k := rng.Intn(3) + 1
+			c := make(Clause, k)
+			for j := range c {
+				c[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+			}
+			f.AddClause(c)
+		}
+		origSat, _ := brute(f)
+		res, ok := Preprocess(f)
+		if !ok {
+			if origSat {
+				t.Fatalf("trial %d: refuted a satisfiable formula", trial)
+			}
+			continue
+		}
+		simpSat, simpModel := brute(res.Formula)
+		if simpSat != origSat {
+			t.Fatalf("trial %d: satisfiability changed %v→%v", trial, origSat, simpSat)
+		}
+		if simpSat {
+			full := res.ExtendModel(simpModel)
+			if !FromBools(full).Satisfies(f) {
+				t.Fatalf("trial %d: extended model invalid", trial)
+			}
+		}
+	}
+}
+
+func TestPreprocessIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	f := New(10)
+	for i := 0; i < 25; i++ {
+		c := make(Clause, 3)
+		for j := range c {
+			c[j] = MkLit(Var(rng.Intn(10)), rng.Intn(2) == 0)
+		}
+		f.AddClause(c)
+	}
+	r1, ok := Preprocess(f)
+	if !ok {
+		t.Skip("refuted")
+	}
+	r2, ok := Preprocess(r1.Formula)
+	if !ok {
+		t.Fatal("second pass refuted")
+	}
+	if r2.Units+r2.Pures+r2.Subsumed+r2.Tautologies != 0 {
+		t.Fatalf("second pass still simplified: %+v", r2)
+	}
+}

@@ -1,0 +1,207 @@
+// Package embed maps QA problem graphs onto the Chimera hardware graph.
+//
+// Three embedders are provided:
+//
+//   - Fast: the HyQSAT paper's linear-time, topology-aware scheme (§IV-B) —
+//     logical variables are allocated to vertical lines in clause-queue
+//     order, auxiliary variables to horizontal lines, and a connection
+//     requirement list (CRL) is satisfied by a greedy left-to-right,
+//     bottom-up allocation of horizontal line segments.
+//   - Minorminer: a from-scratch reimplementation of the Cai–Macready–Roy
+//     heuristic behind D-Wave's minorminer library [11] — iterative chain
+//     placement with weighted-Dijkstra routing and penalty-driven repair.
+//   - PandR: a place-and-route baseline in the style of Bian et al. [8] —
+//     simulated-annealing cell placement followed by BFS path routing.
+//
+// All embedders produce an Embedding (node → qubit chain) that can be
+// checked with Verify and characterised with Stats.
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"hyqsat/internal/chimera"
+	"hyqsat/internal/qubo"
+)
+
+// Problem is the graph to embed: nodes 0..NumNodes-1 and quadratic-coupling
+// edges between them.
+type Problem struct {
+	NumNodes int
+	Edges    []qubo.Edge
+}
+
+// ProblemFromEncoding extracts the problem graph of a QUBO encoding.
+func ProblemFromEncoding(e *qubo.Encoding) *Problem {
+	return &Problem{NumNodes: e.NumNodes(), Edges: e.ProblemGraph()}
+}
+
+// Embedding assigns each embedded problem node a chain of hardware qubits.
+// Nodes that could not be embedded are absent from Chains.
+type Embedding struct {
+	Chains map[int][]int
+}
+
+// NewEmbedding returns an empty embedding.
+func NewEmbedding() *Embedding { return &Embedding{Chains: map[int][]int{}} }
+
+// QubitsUsed returns the total number of qubits over all chains.
+func (e *Embedding) QubitsUsed() int {
+	n := 0
+	for _, c := range e.Chains {
+		n += len(c)
+	}
+	return n
+}
+
+// ChainLengths returns the chain length of every embedded node.
+func (e *Embedding) ChainLengths() []int {
+	out := make([]int, 0, len(e.Chains))
+	for _, c := range e.Chains {
+		out = append(out, len(c))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MeanChainLength returns the average chain length (0 for an empty embedding).
+func (e *Embedding) MeanChainLength() float64 {
+	if len(e.Chains) == 0 {
+		return 0
+	}
+	return float64(e.QubitsUsed()) / float64(len(e.Chains))
+}
+
+// MaxChainLength returns the longest chain length.
+func (e *Embedding) MaxChainLength() int {
+	max := 0
+	for _, c := range e.Chains {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Verify checks that e is a valid minor embedding of p into g: every chain
+// is non-empty, chains are pairwise disjoint, every chain is internally
+// connected through hardware couplers, and every problem edge between two
+// embedded nodes is realised by at least one inter-chain coupler. Edges with
+// an unembedded endpoint are ignored (partial embeddings are legal: the
+// caller decides which nodes had to be embedded).
+func Verify(p *Problem, g *chimera.Graph, e *Embedding) error {
+	owner := map[int]int{}
+	for node, chain := range e.Chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("embed: node %d has an empty chain", node)
+		}
+		for _, q := range chain {
+			if q < 0 || q >= g.NumQubits() {
+				return fmt.Errorf("embed: node %d uses out-of-range qubit %d", node, q)
+			}
+			if g.IsBroken(q) {
+				return fmt.Errorf("embed: node %d uses broken qubit %d", node, q)
+			}
+			if prev, ok := owner[q]; ok {
+				return fmt.Errorf("embed: qubit %d shared by nodes %d and %d", q, prev, node)
+			}
+			owner[q] = node
+		}
+	}
+	for node, chain := range e.Chains {
+		if !chainConnected(g, chain) {
+			return fmt.Errorf("embed: chain of node %d is disconnected: %v", node, chain)
+		}
+	}
+	for _, ed := range p.Edges {
+		cu, okU := e.Chains[ed.U]
+		cv, okV := e.Chains[ed.V]
+		if !okU || !okV {
+			continue
+		}
+		if !chainsCoupled(g, cu, cv) {
+			return fmt.Errorf("embed: problem edge %v has no hardware coupler", ed)
+		}
+	}
+	return nil
+}
+
+func chainConnected(g *chimera.Graph, chain []int) bool {
+	if len(chain) <= 1 {
+		return true
+	}
+	in := map[int]bool{}
+	for _, q := range chain {
+		in[q] = true
+	}
+	stack := []int{chain[0]}
+	visited := map[int]bool{chain[0]: true}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range g.Neighbors(q) {
+			if in[n] && !visited[n] {
+				visited[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(visited) == len(chain)
+}
+
+func chainsCoupled(g *chimera.Graph, a, b []int) bool {
+	inB := map[int]bool{}
+	for _, q := range b {
+		inB[q] = true
+	}
+	for _, q := range a {
+		for _, n := range g.Neighbors(q) {
+			if inB[n] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InterChainCouplers returns every hardware coupler connecting the chains of
+// nodes u and v — the couplers across which the sampler distributes the
+// logical J weight.
+func InterChainCouplers(g *chimera.Graph, e *Embedding, u, v int) []chimera.Edge {
+	var out []chimera.Edge
+	inV := map[int]bool{}
+	for _, q := range e.Chains[v] {
+		inV[q] = true
+	}
+	for _, q := range e.Chains[u] {
+		for _, n := range g.Neighbors(q) {
+			if inV[n] {
+				a, b := q, n
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, chimera.Edge{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// IntraChainCouplers returns the hardware couplers joining qubits within one
+// chain — the couplers that receive the ferromagnetic chain coupling.
+func IntraChainCouplers(g *chimera.Graph, chain []int) []chimera.Edge {
+	in := map[int]bool{}
+	for _, q := range chain {
+		in[q] = true
+	}
+	var out []chimera.Edge
+	for _, q := range chain {
+		for _, n := range g.Neighbors(q) {
+			if in[n] && q < n {
+				out = append(out, chimera.Edge{A: q, B: n})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package gen
+
+// Family is one of the 14 benchmark rows of Table I: a named generator able
+// to produce any number of instances of that family.
+type Family struct {
+	Name   string
+	Domain string
+	// PaperCount is the number of problems the paper evaluated per family.
+	PaperCount int
+	// Make builds the i-th instance of the family (deterministic in i).
+	Make func(i int) *Instance
+}
+
+// Families returns the paper's 14 benchmark families at their published
+// sizes. Instance counts are the paper's; experiment harnesses typically run
+// a smaller, configurable number per family.
+func Families() []Family {
+	return []Family{
+		{"GC1: Flat150-360", "Graph Coloring", 100, func(i int) *Instance {
+			return FlatGraphColoring(150, 360, int64(i)+1)
+		}},
+		{"GC2: Flat175-417", "Graph Coloring", 100, func(i int) *Instance {
+			return FlatGraphColoring(175, 417, int64(i)+1)
+		}},
+		{"GC3: Flat200-479", "Graph Coloring", 100, func(i int) *Instance {
+			return FlatGraphColoring(200, 479, int64(i)+1)
+		}},
+		{"CFA", "Circuit Fault Analysis", 4, func(i int) *Instance {
+			sizes := []struct{ in, gates int }{{30, 120}, {40, 200}, {50, 280}, {60, 380}}
+			s := sizes[i%len(sizes)]
+			return CircuitFaultAnalysis(s.in, s.gates, int64(i)+1)
+		}},
+		{"BP", "Block Planning", 5, func(i int) *Instance {
+			sizes := []struct{ b, h int }{{4, 3}, {5, 3}, {5, 4}, {6, 4}, {7, 4}}
+			s := sizes[i%len(sizes)]
+			return BlockPlanning(s.b, s.h, int64(i)+1)
+		}},
+		{"II", "Inductive Inference", 41, func(i int) *Instance {
+			sizes := []struct{ a, t, e int }{{12, 4, 40}, {16, 4, 60}, {20, 5, 80}, {24, 5, 100}}
+			s := sizes[i%len(sizes)]
+			return InductiveInference(s.a, s.t, s.e, int64(i)+1)
+		}},
+		{"IF1: EzFact", "Integer Factorization", 30, func(i int) *Instance {
+			bits := 24 + 2*(i%2) // 24–26 bit semiprimes
+			return Factorization(bits, int64(i)+1)
+		}},
+		{"IF2: Lisa", "Integer Factorization", 14, func(i int) *Instance {
+			bits := 30 + 2*(i%2) // 30–32 bit semiprimes
+			return Factorization(bits, int64(i)+100)
+		}},
+		{"CRY: Cmpadd", "Cryptography", 5, func(i int) *Instance {
+			bits := 8 + 8*(i%5) // 8–40 bit adders
+			return CmpAdd(bits, int64(i)+1)
+		}},
+		{"AI1: UF150-645", "Artificial Intelligence", 100, func(i int) *Instance {
+			return SatisfiableRandom3SAT(150, 645, int64(i)+1)
+		}},
+		{"AI2: UF175-753", "Artificial Intelligence", 100, func(i int) *Instance {
+			return SatisfiableRandom3SAT(175, 753, int64(i)+1)
+		}},
+		{"AI3: UF200-860", "Artificial Intelligence", 100, func(i int) *Instance {
+			return SatisfiableRandom3SAT(200, 860, int64(i)+1)
+		}},
+		{"AI4: UF225-960", "Artificial Intelligence", 100, func(i int) *Instance {
+			return SatisfiableRandom3SAT(225, 960, int64(i)+1)
+		}},
+		{"AI5: UF250-1065", "Artificial Intelligence", 100, func(i int) *Instance {
+			return SatisfiableRandom3SAT(250, 1065, int64(i)+1)
+		}},
+	}
+}
+
+// Fig1Instance returns the 128-variable, 150-clause random 3-SAT problem of
+// the paper's Figure 1 motivation.
+func Fig1Instance(seed int64) *Instance {
+	return Random3SAT(128, 150, seed)
+}
+
+// FamilyByName returns the family with the given name prefix, or nil.
+func FamilyByName(name string) *Family {
+	for _, f := range Families() {
+		if f.Name == name {
+			fam := f
+			return &fam
+		}
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// Instance is one benchmark problem: a formula, its provenance, and its
+// expected status when known by construction.
+type Instance struct {
+	Name     string
+	Domain   string
+	Formula  *cnf.Formula
+	Expected sat.Status // Unknown when not guaranteed by construction
+}
+
+// Random3SAT generates uniform random 3-SAT: m clauses of three distinct
+// variables with random polarities over n variables.
+func Random3SAT(n, m int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		perm := rng.Perm(n)[:3]
+		c := make(cnf.Clause, 3)
+		for j, v := range perm {
+			c[j] = cnf.MkLit(cnf.Var(v), rng.Intn(2) == 0)
+		}
+		f.AddClause(c)
+	}
+	return &Instance{
+		Name:    fmt.Sprintf("uf%d-%d/s%d", n, m, seed),
+		Domain:  "AI",
+		Formula: f,
+	}
+}
+
+// SatisfiableRandom3SAT rejection-samples Random3SAT until a satisfiable
+// instance is found (the SATLIB "uf" construction: uniform random instances
+// filtered with a complete solver). The candidate counter advances the seed,
+// so the result is deterministic.
+func SatisfiableRandom3SAT(n, m int, seed int64) *Instance {
+	for k := int64(0); ; k++ {
+		inst := Random3SAT(n, m, seed*1_000_003+k)
+		r := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+		if r.Status == sat.Sat {
+			inst.Expected = sat.Sat
+			return inst
+		}
+	}
+}
+
+// FlatGraphColoring generates a SATLIB "flat"-style 3-colouring instance:
+// a 3-colourable graph (vertices pre-partitioned into three classes, edges
+// only between classes) encoded with one variable per (vertex, colour).
+// Clause count is v (at-least-one) + 3v (at-most-one pairs) + 3e (edge
+// conflicts), matching the paper's 1680 clauses for flat150-360.
+func FlatGraphColoring(vertices, edges int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	colorOf := make([]int, vertices)
+	for v := range colorOf {
+		colorOf[v] = rng.Intn(3)
+	}
+	type edge struct{ u, v int }
+	seen := map[edge]bool{}
+	var es []edge
+	for len(es) < edges {
+		u, v := rng.Intn(vertices), rng.Intn(vertices)
+		if u == v || colorOf[u] == colorOf[v] {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := edge{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		es = append(es, e)
+	}
+
+	f := cnf.New(vertices * 3)
+	cv := func(v, c int) cnf.Var { return cnf.Var(v*3 + c) }
+	for v := 0; v < vertices; v++ {
+		f.AddClause(cnf.Clause{cnf.Pos(cv(v, 0)), cnf.Pos(cv(v, 1)), cnf.Pos(cv(v, 2))})
+		for c1 := 0; c1 < 3; c1++ {
+			for c2 := c1 + 1; c2 < 3; c2++ {
+				f.AddClause(cnf.Clause{cnf.Neg(cv(v, c1)), cnf.Neg(cv(v, c2))})
+			}
+		}
+	}
+	for _, e := range es {
+		for c := 0; c < 3; c++ {
+			f.AddClause(cnf.Clause{cnf.Neg(cv(e.u, c)), cnf.Neg(cv(e.v, c))})
+		}
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("flat%d-%d/s%d", vertices, edges, seed),
+		Domain:   "GC",
+		Formula:  f,
+		Expected: sat.Sat, // 3-colourable by construction
+	}
+}
+
+// randomCircuit builds a random combinational circuit with the given number
+// of inputs and gates, returning all internal wires and the output wires
+// (the last `outputs` gates).
+func randomCircuit(c *Circuit, rng *rand.Rand, inputs, gates, outputs int) (wires, outs []cnf.Lit) {
+	for i := 0; i < inputs; i++ {
+		wires = append(wires, c.Input())
+	}
+	for g := 0; g < gates; g++ {
+		a := wires[rng.Intn(len(wires))]
+		b := wires[rng.Intn(len(wires))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		var y cnf.Lit
+		switch rng.Intn(3) {
+		case 0:
+			y = c.And(a, b)
+		case 1:
+			y = c.Or(a, b)
+		default:
+			y = c.Xor(a, b)
+		}
+		wires = append(wires, y)
+	}
+	outs = wires[len(wires)-outputs:]
+	return wires, outs
+}
+
+// CircuitFaultAnalysis generates an equivalence-checking instance in the
+// style of circuit fault analysis / test generation: a random circuit and a
+// copy that differs by an injected stuck-at fault on a *redundant* wire, so
+// the fault is undetectable and the miter ("outputs differ") is
+// unsatisfiable — matching the paper's observation that CFA is an
+// unsatisfiable benchmark driven by feedback strategy 4.
+func CircuitFaultAnalysis(inputs, gates int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCircuit()
+
+	// Golden circuit.
+	wires, outsA := randomCircuit(c, rng, inputs, gates, 4)
+
+	// Faulty copy over the same inputs: identical structure, except one
+	// wire w is replaced by w ∨ (t ∧ ¬t); the injected fault forces the
+	// redundant disjunct to 0, which leaves the function unchanged.
+	// Reconstruct the copy by re-walking the same random choices.
+	rng2 := rand.New(rand.NewSource(seed))
+	wiresB := append([]cnf.Lit(nil), wires[:inputs]...)
+	for g := 0; g < gates; g++ {
+		a := wiresB[rng2.Intn(len(wiresB))]
+		b := wiresB[rng2.Intn(len(wiresB))]
+		if rng2.Intn(2) == 0 {
+			a = a.Not()
+		}
+		var y cnf.Lit
+		switch rng2.Intn(3) {
+		case 0:
+			y = c.And(a, b)
+		case 1:
+			y = c.Or(a, b)
+		default:
+			y = c.Xor(a, b)
+		}
+		wiresB = append(wiresB, y)
+	}
+	outsB := make([]cnf.Lit, 4)
+	copy(outsB, wiresB[len(wiresB)-4:])
+	// Redundant modification with the fault already applied: replace output
+	// 0 with itself OR (stuck-at-0 wire). Functionally identical.
+	stuck := c.ConstFalse()
+	outsB[0] = c.Or(outsB[0], stuck)
+
+	diff := c.Miter(outsA, outsB)
+	c.AssertTrue(diff)
+	return &Instance{
+		Name:     fmt.Sprintf("cfa-%din-%dg/s%d", inputs, gates, seed),
+		Domain:   "CFA",
+		Formula:  c.F,
+		Expected: sat.Unsat,
+	}
+}
+
+// InductiveInference generates a boolean function learning instance (SATLIB
+// "ii" style): find a k-term DNF over d attributes consistent with a set of
+// labelled examples drawn from a hidden target DNF. Satisfiable by
+// construction (the target itself is consistent).
+func InductiveInference(attrs, terms, examples int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Hidden target: `terms` random terms of ~3 literals each.
+	type litSpec struct {
+		attr int
+		neg  bool
+	}
+	target := make([][]litSpec, terms)
+	for j := range target {
+		for _, a := range rng.Perm(attrs)[:3] {
+			target[j] = append(target[j], litSpec{a, rng.Intn(2) == 0})
+		}
+	}
+	eval := func(x []bool) bool {
+		for _, term := range target {
+			ok := true
+			for _, l := range term {
+				if x[l.attr] == l.neg {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Hypothesis variables: p(j,i) = term j contains attribute i positively,
+	// n(j,i) = negatively.
+	f := cnf.New(2 * terms * attrs)
+	p := func(j, i int) cnf.Var { return cnf.Var(2 * (j*attrs + i)) }
+	nv := func(j, i int) cnf.Var { return cnf.Var(2*(j*attrs+i) + 1) }
+
+	for e := 0; e < examples; e++ {
+		x := make([]bool, attrs)
+		for i := range x {
+			x[i] = rng.Intn(2) == 0
+		}
+		if eval(x) {
+			// Positive example: some term accepts x. s_j → term j does not
+			// contain a literal x falsifies.
+			sel := make(cnf.Clause, terms)
+			for j := 0; j < terms; j++ {
+				s := f.NewVar()
+				sel[j] = cnf.Pos(s)
+				for i := 0; i < attrs; i++ {
+					if x[i] {
+						f.AddClause(cnf.Clause{cnf.Neg(s), cnf.Neg(nv(j, i))})
+					} else {
+						f.AddClause(cnf.Clause{cnf.Neg(s), cnf.Neg(p(j, i))})
+					}
+				}
+			}
+			f.AddClause(sel)
+		} else {
+			// Negative example: every term must contain a literal that
+			// rejects x.
+			for j := 0; j < terms; j++ {
+				rej := make(cnf.Clause, 0, attrs)
+				for i := 0; i < attrs; i++ {
+					if x[i] {
+						rej = append(rej, cnf.Pos(nv(j, i)))
+					} else {
+						rej = append(rej, cnf.Pos(p(j, i)))
+					}
+				}
+				f.AddClause(rej)
+			}
+		}
+	}
+	return &Instance{
+		Name:     fmt.Sprintf("ii-%da-%dt-%de/s%d", attrs, terms, examples, seed),
+		Domain:   "II",
+		Formula:  f,
+		Expected: sat.Sat,
+	}
+}
+
+// smallPrimes for factorisation instance construction.
+func randomPrime(rng *rand.Rand, bits int) uint64 {
+	for {
+		p := (uint64(rng.Int63()) & ((1 << uint(bits)) - 1)) | 1 | (1 << uint(bits-1))
+		if isPrime(p) {
+			return p
+		}
+	}
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factorization generates an integer-factorisation instance (SATLIB
+// "ezfact"/"lisa" style): an array-multiplier circuit p·q = N for a
+// semiprime N with the trivial factorisations excluded. Satisfiable, with
+// the prime factors as the only models.
+func Factorization(bits int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	half := bits / 2
+	p := randomPrime(rng, half)
+	q := randomPrime(rng, bits-half)
+	n := p * q
+
+	c := NewCircuit()
+	pa := make([]cnf.Lit, half)
+	qa := make([]cnf.Lit, bits-half)
+	for i := range pa {
+		pa[i] = c.Input()
+	}
+	for i := range qa {
+		qa[i] = c.Input()
+	}
+	prod := c.Multiplier(pa, qa)
+	c.AssertEqualsConst(prod, n)
+	// Exclude p=1 and q=1 (a factor must have a bit above bit 0).
+	nontrivial := func(v []cnf.Lit) {
+		cl := make(cnf.Clause, 0, len(v)-1)
+		for _, b := range v[1:] {
+			cl = append(cl, b)
+		}
+		c.F.AddClause(cl)
+	}
+	nontrivial(pa)
+	nontrivial(qa)
+	return &Instance{
+		Name:     fmt.Sprintf("factor-%dbit-%d/s%d", bits, n, seed),
+		Domain:   "IF",
+		Formula:  c.F,
+		Expected: sat.Sat,
+	}
+}
+
+// CmpAdd generates a cryptographic-circuit instance (SATLIB "cmpadd" style):
+// an equivalence miter between a ripple-carry adder and a structurally
+// different generate/propagate adder, with the miter asserted to find a
+// counterexample. The adders are equivalent, so the instance is
+// unsatisfiable — but shallow, which is why the paper's CRY rows solve in
+// very few iterations.
+func CmpAdd(bits int, seed int64) *Instance {
+	c := NewCircuit()
+	a := make([]cnf.Lit, bits)
+	b := make([]cnf.Lit, bits)
+	for i := range a {
+		a[i] = c.Input()
+	}
+	for i := range b {
+		b[i] = c.Input()
+	}
+	s1 := c.RippleAdder(a, b)
+	s2 := c.CarrySelectAdder(a, b)
+	c.AssertTrue(c.Miter(s1, s2))
+	return &Instance{
+		Name:     fmt.Sprintf("cmpadd-%dbit/s%d", bits, seed),
+		Domain:   "CRY",
+		Formula:  c.F,
+		Expected: sat.Unsat,
+	}
+}

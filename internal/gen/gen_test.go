@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// fmtSscanfName extracts the product N from a factorisation instance name.
+func fmtSscanfName(name string, n *uint64) (int, error) {
+	var bits int
+	var seed int64
+	return fmt.Sscanf(name, "factor-%dbit-%d/s%d", &bits, n, &seed)
+}
+
+func solve(t *testing.T, f *cnf.Formula) sat.Result {
+	t.Helper()
+	opts := sat.MiniSATOptions()
+	opts.MaxConflicts = 2_000_000
+	r := sat.New(f.Copy(), opts).Solve()
+	if r.Status == sat.Unknown {
+		t.Fatal("solver budget exhausted on generated instance")
+	}
+	return r
+}
+
+func checkExpected(t *testing.T, inst *Instance) sat.Result {
+	t.Helper()
+	r := solve(t, inst.Formula)
+	if inst.Expected != sat.Unknown && r.Status != inst.Expected {
+		t.Fatalf("%s: got %v, expected %v", inst.Name, r.Status, inst.Expected)
+	}
+	if r.Status == sat.Sat {
+		m := cnf.FromBools(r.Model)
+		if !m.Satisfies(inst.Formula) {
+			t.Fatalf("%s: model does not satisfy", inst.Name)
+		}
+	}
+	return r
+}
+
+func TestRandom3SATShape(t *testing.T) {
+	inst := Random3SAT(100, 430, 7)
+	if inst.Formula.NumVars != 100 || inst.Formula.NumClauses() != 430 {
+		t.Fatalf("shape %d/%d", inst.Formula.NumVars, inst.Formula.NumClauses())
+	}
+	for _, c := range inst.Formula.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause length %d", len(c))
+		}
+		vars := c.Vars()
+		if len(vars) != 3 {
+			t.Fatalf("repeated variable in clause %v", c)
+		}
+	}
+	// Deterministic per seed.
+	again := Random3SAT(100, 430, 7)
+	for i := range inst.Formula.Clauses {
+		for j := range inst.Formula.Clauses[i] {
+			if inst.Formula.Clauses[i][j] != again.Formula.Clauses[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestSatisfiableRandom3SAT(t *testing.T) {
+	inst := SatisfiableRandom3SAT(60, 258, 3)
+	if inst.Expected != sat.Sat {
+		t.Fatal("expected flag not set")
+	}
+	checkExpected(t, inst)
+}
+
+func TestFlatGraphColoring(t *testing.T) {
+	inst := FlatGraphColoring(150, 360, 1)
+	if inst.Formula.NumVars != 450 {
+		t.Fatalf("vars = %d, want 450", inst.Formula.NumVars)
+	}
+	if inst.Formula.NumClauses() != 1680 {
+		t.Fatalf("clauses = %d, want 1680 (paper's flat150-360)", inst.Formula.NumClauses())
+	}
+	checkExpected(t, inst)
+}
+
+func TestCircuitFaultAnalysisUnsat(t *testing.T) {
+	inst := CircuitFaultAnalysis(20, 60, 2)
+	if inst.Expected != sat.Unsat {
+		t.Fatal("CFA should expect Unsat")
+	}
+	checkExpected(t, inst)
+}
+
+func TestBlockPlanningSatisfiable(t *testing.T) {
+	inst := BlockPlanning(5, 3, 4)
+	r := checkExpected(t, inst)
+	// BP should be propagation-dominated: very few conflicts, as in the
+	// paper's 7-iteration rows.
+	if r.Stats.Conflicts > 10000 {
+		t.Fatalf("BP unexpectedly hard: %d conflicts", r.Stats.Conflicts)
+	}
+}
+
+func TestBlockPlanningVarietyOfSeeds(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		checkExpected(t, BlockPlanning(4, 3, seed))
+	}
+}
+
+func TestInductiveInference(t *testing.T) {
+	inst := InductiveInference(12, 4, 40, 5)
+	checkExpected(t, inst)
+}
+
+func TestFactorizationModelRecoversFactors(t *testing.T) {
+	inst := Factorization(10, 6)
+	r := checkExpected(t, inst)
+	// Decode the factors from the model: inputs are the first variables.
+	c := 0
+	decode := func(width int) uint64 {
+		v := uint64(0)
+		for i := 0; i < width; i++ {
+			if r.Model[c] {
+				v |= 1 << uint(i)
+			}
+			c++
+		}
+		return v
+	}
+	p := decode(5)
+	q := decode(5)
+	if p <= 1 || q <= 1 {
+		t.Fatalf("trivial factor: %d × %d", p, q)
+	}
+	// Product must match the N encoded in the instance name.
+	var n uint64
+	if _, err := fmtSscanfName(inst.Name, &n); err != nil {
+		t.Fatalf("cannot parse instance name %q: %v", inst.Name, err)
+	}
+	if p*q != n {
+		t.Fatalf("model factors %d × %d = %d, want %d", p, q, p*q, n)
+	}
+}
+
+func TestCmpAddUnsat(t *testing.T) {
+	inst := CmpAdd(6, 1)
+	if inst.Expected != sat.Unsat {
+		t.Fatal("CmpAdd should expect Unsat")
+	}
+	checkExpected(t, inst)
+}
+
+func TestCircuitPrimitives(t *testing.T) {
+	// Exhaustively check adder and multiplier on small widths.
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			c := NewCircuit()
+			av := []cnf.Lit{c.Input(), c.Input(), c.Input()}
+			bv := []cnf.Lit{c.Input(), c.Input(), c.Input()}
+			sum := c.RippleAdder(av, bv)
+			sum2 := c.CarrySelectAdder(av, bv)
+			prod := c.Multiplier(av, bv)
+			// Fix inputs.
+			for i := 0; i < 3; i++ {
+				if a&(1<<uint(i)) != 0 {
+					c.AssertTrue(av[i])
+				} else {
+					c.AssertFalse(av[i])
+				}
+				if b&(1<<uint(i)) != 0 {
+					c.AssertTrue(bv[i])
+				} else {
+					c.AssertFalse(bv[i])
+				}
+			}
+			r := solve(t, c.F)
+			if r.Status != sat.Sat {
+				t.Fatalf("circuit with fixed inputs unsat")
+			}
+			m := cnf.FromBools(r.Model)
+			read := func(bits []cnf.Lit) uint64 {
+				v := uint64(0)
+				for i, l := range bits {
+					if m.Lit(l) == cnf.True {
+						v |= 1 << uint(i)
+					}
+				}
+				return v
+			}
+			if got := read(sum); got != a+b {
+				t.Fatalf("%d+%d: ripple %d", a, b, got)
+			}
+			if got := read(sum2); got != a+b {
+				t.Fatalf("%d+%d: carry-select %d", a, b, got)
+			}
+			if got := read(prod); got != a*b {
+				t.Fatalf("%d·%d: product %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestPrimeHelpers(t *testing.T) {
+	for _, p := range []uint64{2, 3, 5, 7, 11, 101, 997} {
+		if !isPrime(p) {
+			t.Fatalf("%d reported composite", p)
+		}
+	}
+	for _, n := range []uint64{0, 1, 4, 9, 100, 999} {
+		if isPrime(n) {
+			t.Fatalf("%d reported prime", n)
+		}
+	}
+}
+
+func TestFamiliesComplete(t *testing.T) {
+	fams := Families()
+	if len(fams) != 14 {
+		t.Fatalf("%d families, want 14", len(fams))
+	}
+	domains := map[string]bool{}
+	for _, f := range fams {
+		domains[f.Domain] = true
+		if f.PaperCount <= 0 {
+			t.Fatalf("%s: missing paper count", f.Name)
+		}
+	}
+	if len(domains) != 7 {
+		t.Fatalf("%d domains, want 7", len(domains))
+	}
+	if FamilyByName("CFA") == nil || FamilyByName("nope") != nil {
+		t.Fatal("FamilyByName lookup wrong")
+	}
+}
+
+func TestSmallFamilyInstancesSolvable(t *testing.T) {
+	// Every family must produce well-formed instances; solve the cheap ones.
+	for _, fam := range Families() {
+		switch fam.Name {
+		case "AI1: UF150-645", "AI2: UF175-753", "AI3: UF200-860",
+			"AI4: UF225-960", "AI5: UF250-1065", "IF2: Lisa", "IF1: EzFact":
+			continue // covered by other tests; too slow here
+		}
+		inst := fam.Make(0)
+		if inst.Formula.NumClauses() == 0 {
+			t.Fatalf("%s: empty formula", fam.Name)
+		}
+		checkExpected(t, inst)
+	}
+}
+
+func TestFig1Instance(t *testing.T) {
+	inst := Fig1Instance(1)
+	if inst.Formula.NumVars != 128 || inst.Formula.NumClauses() != 150 {
+		t.Fatalf("Fig 1 instance shape %d/%d", inst.Formula.NumVars, inst.Formula.NumClauses())
+	}
+}

@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// BlockPlanning generates a blocks-world planning instance (SATLIB "bw"
+// style) with a SATPLAN-like linear encoding: fluents on(x,y,t) for blocks x
+// and destinations y (another block or the table), action variables
+// move(x,y,t), explanatory frame axioms, and mutual-exclusion constraints.
+// The goal state is produced by simulating `horizon` random legal moves from
+// the initial state, so the instance is satisfiable by construction and —
+// like the paper's BP rows — solved almost entirely by propagation.
+func BlockPlanning(blocks, horizon int, seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	const table = -1
+
+	// Initial state: random stacks.
+	under := make([]int, blocks) // under[x] = block x sits on (or table)
+	for x := range under {
+		under[x] = table
+	}
+	// Build random stacks by placing blocks on earlier ones.
+	for x := 1; x < blocks; x++ {
+		if rng.Intn(2) == 0 {
+			// Place on a random clear block among 0..x-1.
+			candidates := clearBlocks(under[:x])
+			if len(candidates) > 0 {
+				under[x] = candidates[rng.Intn(len(candidates))]
+			}
+		}
+	}
+	initial := append([]int(nil), under...)
+
+	// Simulate `horizon` random legal moves to obtain a reachable goal.
+	state := append([]int(nil), under...)
+	for t := 0; t < horizon; t++ {
+		clear := clearBlocks(state)
+		if len(clear) == 0 {
+			break
+		}
+		x := clear[rng.Intn(len(clear))]
+		dests := []int{table}
+		for _, y := range clear {
+			if y != x {
+				dests = append(dests, y)
+			}
+		}
+		state[x] = dests[rng.Intn(len(dests))]
+	}
+	goal := state
+
+	// Encoding. Destinations: 0..blocks-1 are blocks, index `blocks` is the
+	// table.
+	dests := blocks + 1
+	f := cnf.New(0)
+	onVar := make([][][]cnf.Var, blocks)   // on[x][y][t]
+	moveVar := make([][][]cnf.Var, blocks) // move[x][y][t]
+	for x := 0; x < blocks; x++ {
+		onVar[x] = make([][]cnf.Var, dests)
+		moveVar[x] = make([][]cnf.Var, dests)
+		for y := 0; y < dests; y++ {
+			onVar[x][y] = make([]cnf.Var, horizon+1)
+			moveVar[x][y] = make([]cnf.Var, horizon)
+			for t := 0; t <= horizon; t++ {
+				onVar[x][y][t] = f.NewVar()
+			}
+			for t := 0; t < horizon; t++ {
+				moveVar[x][y][t] = f.NewVar()
+			}
+		}
+	}
+	on := func(x, y, t int) cnf.Lit { return cnf.Pos(onVar[x][y][t]) }
+	mv := func(x, y, t int) cnf.Lit { return cnf.Pos(moveVar[x][y][t]) }
+	destIdx := func(y int) int {
+		if y == table {
+			return blocks
+		}
+		return y
+	}
+
+	// Initial and goal states as units (positive and negative).
+	for x := 0; x < blocks; x++ {
+		for y := 0; y < dests; y++ {
+			if y == destIdx(initial[x]) {
+				f.AddClause(cnf.Clause{on(x, y, 0)})
+			} else {
+				f.AddClause(cnf.Clause{on(x, y, 0).Not()})
+			}
+			if y == destIdx(goal[x]) {
+				f.AddClause(cnf.Clause{on(x, y, horizon)})
+			}
+		}
+	}
+
+	for t := 0; t <= horizon; t++ {
+		for x := 0; x < blocks; x++ {
+			// No block on itself; at most one place per block.
+			f.AddClause(cnf.Clause{on(x, x, t).Not()})
+			for y1 := 0; y1 < dests; y1++ {
+				for y2 := y1 + 1; y2 < dests; y2++ {
+					f.AddClause(cnf.Clause{on(x, y1, t).Not(), on(x, y2, t).Not()})
+				}
+			}
+			// At least one place.
+			cl := make(cnf.Clause, 0, dests)
+			for y := 0; y < dests; y++ {
+				if y != x {
+					cl = append(cl, on(x, y, t))
+				}
+			}
+			f.AddClause(cl)
+		}
+		// At most one block directly on any block.
+		for y := 0; y < blocks; y++ {
+			for x1 := 0; x1 < blocks; x1++ {
+				for x2 := x1 + 1; x2 < blocks; x2++ {
+					f.AddClause(cnf.Clause{on(x1, y, t).Not(), on(x2, y, t).Not()})
+				}
+			}
+		}
+	}
+
+	for t := 0; t < horizon; t++ {
+		// At most one move per step.
+		var all []cnf.Lit
+		for x := 0; x < blocks; x++ {
+			for y := 0; y < dests; y++ {
+				all = append(all, mv(x, y, t))
+			}
+		}
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				f.AddClause(cnf.Clause{all[i].Not(), all[j].Not()})
+			}
+		}
+		for x := 0; x < blocks; x++ {
+			for y := 0; y < dests; y++ {
+				if y == x {
+					f.AddClause(cnf.Clause{mv(x, y, t).Not()})
+					continue
+				}
+				// Effect.
+				f.AddClause(cnf.Clause{mv(x, y, t).Not(), on(x, y, t+1)})
+				// Preconditions: x clear (no block on x), destination block
+				// clear.
+				for z := 0; z < blocks; z++ {
+					f.AddClause(cnf.Clause{mv(x, y, t).Not(), on(z, x, t).Not()})
+					if y < blocks {
+						f.AddClause(cnf.Clause{mv(x, y, t).Not(), on(z, y, t).Not()})
+					}
+				}
+			}
+		}
+		// Frame axioms: a block's position persists unless it moves.
+		for x := 0; x < blocks; x++ {
+			moved := make(cnf.Clause, 0, dests)
+			for y := 0; y < dests; y++ {
+				moved = append(moved, mv(x, y, t))
+			}
+			for y := 0; y < dests; y++ {
+				// Positive frame: on(x,y,t) ∧ ¬moved(x) → on(x,y,t+1).
+				cl := cnf.Clause{on(x, y, t).Not(), on(x, y, t+1)}
+				cl = append(cl, moved...)
+				f.AddClause(cl)
+				// Negative frame: ¬on(x,y,t) ∧ ¬move(x,y,t) → ¬on(x,y,t+1).
+				f.AddClause(cnf.Clause{on(x, y, t), mv(x, y, t), on(x, y, t+1).Not()})
+			}
+		}
+	}
+
+	return &Instance{
+		Name:     fmt.Sprintf("bw-%db-%dh/s%d", blocks, horizon, seed),
+		Domain:   "BP",
+		Formula:  f,
+		Expected: sat.Sat,
+	}
+}
+
+// clearBlocks returns the blocks with nothing on top of them.
+func clearBlocks(under []int) []int {
+	covered := make(map[int]bool)
+	for _, u := range under {
+		if u >= 0 {
+			covered[u] = true
+		}
+	}
+	var out []int
+	for x := range under {
+		if !covered[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

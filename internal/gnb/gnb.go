@@ -1,0 +1,215 @@
+// Package gnb implements the backend's satisfaction-probability estimation
+// (paper §V-A): a Gaussian Naive Bayes model fitted to the QA output-energy
+// distributions of satisfiable and unsatisfiable problems, and the
+// confidence-interval partition of the energy axis into the four classes —
+// satisfiable [0,0], near-satisfiable (0,t₁], uncertain (t₁,t₂], and
+// near-unsatisfiable (t₂,∞) — that drive the feedback strategies. The
+// paper's D-Wave 2000Q calibration (t₁=4.5, t₂=8 at 90% confidence) is
+// provided as the default; Fit recalibrates from labelled samples.
+package gnb
+
+import (
+	"errors"
+	"math"
+)
+
+// Class is a satisfaction-probability class of an embedded clause set.
+type Class int
+
+// The four classes of §V-A, in increasing energy order.
+const (
+	Satisfiable Class = iota
+	NearSatisfiable
+	Uncertain
+	NearUnsatisfiable
+)
+
+func (c Class) String() string {
+	switch c {
+	case Satisfiable:
+		return "satisfiable"
+	case NearSatisfiable:
+		return "near-satisfiable"
+	case Uncertain:
+		return "uncertain"
+	default:
+		return "near-unsatisfiable"
+	}
+}
+
+// Model is a two-class Gaussian Naive Bayes over a single feature (energy).
+type Model struct {
+	MeanSat, StdSat     float64
+	MeanUnsat, StdUnsat float64
+	PriorSat            float64
+}
+
+// minStd keeps the model proper when a class has (near-)constant energies,
+// e.g. all-zero satisfiable energies from a noise-free sampler.
+const minStd = 0.25
+
+// Fit estimates the model from labelled energy samples.
+func Fit(satEnergies, unsatEnergies []float64) (*Model, error) {
+	if len(satEnergies) == 0 || len(unsatEnergies) == 0 {
+		return nil, errors.New("gnb: both classes need at least one sample")
+	}
+	ms, ss := meanStd(satEnergies)
+	mu, su := meanStd(unsatEnergies)
+	return &Model{
+		MeanSat: ms, StdSat: math.Max(ss, minStd),
+		MeanUnsat: mu, StdUnsat: math.Max(su, minStd),
+		PriorSat: float64(len(satEnergies)) / float64(len(satEnergies)+len(unsatEnergies)),
+	}, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+func gaussPDF(x, mean, std float64) float64 {
+	d := (x - mean) / std
+	return math.Exp(-d*d/2) / (std * math.Sqrt(2*math.Pi))
+}
+
+// PSat returns the posterior probability that a problem with the given
+// output energy is satisfiable.
+func (m *Model) PSat(energy float64) float64 {
+	ps := m.PriorSat * gaussPDF(energy, m.MeanSat, m.StdSat)
+	pu := (1 - m.PriorSat) * gaussPDF(energy, m.MeanUnsat, m.StdUnsat)
+	if ps+pu == 0 {
+		// Far in a tail where both densities underflow: decide by distance
+		// in standard deviations.
+		ds := math.Abs(energy-m.MeanSat) / m.StdSat
+		du := math.Abs(energy-m.MeanUnsat) / m.StdUnsat
+		if ds < du {
+			return 1
+		}
+		return 0
+	}
+	return ps / (ps + pu)
+}
+
+// Predict classifies a single energy as satisfiable (true) or not by
+// maximum posterior.
+func (m *Model) Predict(energy float64) bool { return m.PSat(energy) >= 0.5 }
+
+// Accuracy evaluates Predict against labelled samples.
+func (m *Model) Accuracy(satEnergies, unsatEnergies []float64) float64 {
+	correct, total := 0, 0
+	for _, e := range satEnergies {
+		if m.Predict(e) {
+			correct++
+		}
+		total++
+	}
+	for _, e := range unsatEnergies {
+		if !m.Predict(e) {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Partition divides the energy axis into the four classes of §V-A.
+// NearSatUpper is the paper's t₁ (energies in (0,t₁] are near-satisfiable),
+// UncertainUpper the t₂ beyond which problems are near-unsatisfiable.
+type Partition struct {
+	NearSatUpper   float64
+	UncertainUpper float64
+}
+
+// DefaultPartition is the paper's published D-Wave 2000Q calibration at a
+// 90% confidence factor: [0,0], (0,4.5], (4.5,8], (8,∞).
+func DefaultPartition() Partition { return Partition{NearSatUpper: 4.5, UncertainUpper: 8} }
+
+// Classify maps an output energy to its class. Energies within ε of zero
+// count as exactly satisfiable.
+func (p Partition) Classify(energy float64) Class {
+	const eps = 1e-9
+	switch {
+	case energy <= eps:
+		return Satisfiable
+	case energy <= p.NearSatUpper:
+		return NearSatisfiable
+	case energy <= p.UncertainUpper:
+		return Uncertain
+	default:
+		return NearUnsatisfiable
+	}
+}
+
+// Partition derives the confidence-interval partition from the model at the
+// given confidence factor (the paper uses 0.9): t₁ is the largest energy at
+// which PSat ≥ confidence, and t₂ the smallest energy at which
+// P(unsat) ≥ confidence. The search scans the range covered by both classes.
+func (m *Model) Partition(confidence float64) Partition {
+	lo := math.Min(m.MeanSat-4*m.StdSat, 0)
+	hi := m.MeanUnsat + 4*m.StdUnsat
+	if hi <= lo {
+		hi = lo + 1
+	}
+	const steps = 4096
+	step := (hi - lo) / steps
+	// Largest energy with PSat ≥ confidence; when the class overlap makes
+	// that confidence unreachable, fall back to the maximum-posterior
+	// decision boundary (PSat ≥ 0.5), which collapses the uncertain band.
+	scanDown := func(threshold float64) (float64, bool) {
+		for e := hi; e >= lo; e -= step {
+			if m.PSat(e) >= threshold {
+				return e, true
+			}
+		}
+		return 0, false
+	}
+	scanUp := func(threshold float64) (float64, bool) {
+		for e := lo; e <= hi; e += step {
+			if 1-m.PSat(e) >= threshold {
+				return e, true
+			}
+		}
+		return hi, false
+	}
+	t1, ok1 := scanDown(confidence)
+	if !ok1 {
+		t1, _ = scanDown(0.5)
+	}
+	t2, ok2 := scanUp(confidence)
+	if !ok2 {
+		t2, _ = scanUp(0.5)
+	}
+	if t1 < 0 {
+		t1 = 0
+	}
+	if t2 < t1 {
+		t2 = t1
+	}
+	return Partition{NearSatUpper: t1, UncertainUpper: t2}
+}
+
+// UncertainFraction returns the fraction of the given energies that fall in
+// the uncertain interval — the quantity Fig 15(b) shows shrinking from
+// 28.1% to 14.0% after noise optimisation.
+func (p Partition) UncertainFraction(energies []float64) float64 {
+	if len(energies) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range energies {
+		if p.Classify(e) == Uncertain {
+			n++
+		}
+	}
+	return float64(n) / float64(len(energies))
+}

@@ -1,0 +1,191 @@
+package gnb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gaussianSamples(rng *rand.Rand, mean, std float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + std*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sat := gaussianSamples(rng, 1.0, 1.0, 5000)
+	unsat := gaussianSamples(rng, 10.0, 2.0, 5000)
+	m, err := Fit(sat, unsat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MeanSat-1) > 0.1 || math.Abs(m.StdSat-1) > 0.1 {
+		t.Fatalf("sat params %v/%v", m.MeanSat, m.StdSat)
+	}
+	if math.Abs(m.MeanUnsat-10) > 0.2 || math.Abs(m.StdUnsat-2) > 0.2 {
+		t.Fatalf("unsat params %v/%v", m.MeanUnsat, m.StdUnsat)
+	}
+	if math.Abs(m.PriorSat-0.5) > 1e-9 {
+		t.Fatalf("prior %v", m.PriorSat)
+	}
+}
+
+func TestFitRejectsEmptyClass(t *testing.T) {
+	if _, err := Fit(nil, []float64{1}); err == nil {
+		t.Fatal("empty sat class accepted")
+	}
+	if _, err := Fit([]float64{1}, nil); err == nil {
+		t.Fatal("empty unsat class accepted")
+	}
+}
+
+func TestStdFloor(t *testing.T) {
+	m, err := Fit([]float64{0, 0, 0}, []float64{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StdSat < minStd || m.StdUnsat < minStd {
+		t.Fatal("std floor not applied")
+	}
+}
+
+func TestPSatMonotoneBehaviour(t *testing.T) {
+	m := &Model{MeanSat: 1, StdSat: 1, MeanUnsat: 10, StdUnsat: 1, PriorSat: 0.5}
+	if m.PSat(0) < 0.99 {
+		t.Fatalf("PSat(0) = %v", m.PSat(0))
+	}
+	if m.PSat(12) > 0.01 {
+		t.Fatalf("PSat(12) = %v", m.PSat(12))
+	}
+	if !m.Predict(0) || m.Predict(12) {
+		t.Fatal("Predict inconsistent with PSat")
+	}
+	// Midpoint is genuinely uncertain.
+	if p := m.PSat(5.5); p < 0.4 || p > 0.6 {
+		t.Fatalf("PSat at midpoint = %v", p)
+	}
+	// Deep-tail evaluation must not NaN.
+	if p := m.PSat(1e6); math.IsNaN(p) || p > 0 {
+		t.Fatalf("deep tail PSat = %v", p)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	m := &Model{MeanSat: 0, StdSat: 1, MeanUnsat: 10, StdUnsat: 1, PriorSat: 0.5}
+	sat := []float64{0, 0.5, 1}
+	unsat := []float64{9, 10, 11}
+	if acc := m.Accuracy(sat, unsat); acc != 1 {
+		t.Fatalf("accuracy %v on separable data", acc)
+	}
+	// One mislabelled point drops accuracy to 5/6.
+	if acc := m.Accuracy(append(sat, 10), unsat); math.Abs(acc-6.0/7.0) > 1e-9 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestDefaultPartitionMatchesPaper(t *testing.T) {
+	p := DefaultPartition()
+	cases := []struct {
+		e    float64
+		want Class
+	}{
+		{0, Satisfiable},
+		{1e-12, Satisfiable},
+		{0.1, NearSatisfiable},
+		{4.5, NearSatisfiable},
+		{4.6, Uncertain},
+		{8, Uncertain},
+		{8.1, NearUnsatisfiable},
+		{100, NearUnsatisfiable},
+	}
+	for _, c := range cases {
+		if got := p.Classify(c.e); got != c.want {
+			t.Fatalf("Classify(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		Satisfiable:       "satisfiable",
+		NearSatisfiable:   "near-satisfiable",
+		Uncertain:         "uncertain",
+		NearUnsatisfiable: "near-unsatisfiable",
+	} {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestModelPartitionConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sat := gaussianSamples(rng, 2, 1.5, 2000)
+	unsat := gaussianSamples(rng, 12, 3, 2000)
+	m, _ := Fit(sat, unsat)
+	p := m.Partition(0.9)
+	if p.NearSatUpper <= 0 || p.UncertainUpper < p.NearSatUpper {
+		t.Fatalf("degenerate partition %+v", p)
+	}
+	// At the lower boundary the model must still favour satisfiable with
+	// ≈90% confidence; beyond the upper boundary, unsatisfiable.
+	if m.PSat(p.NearSatUpper) < 0.85 {
+		t.Fatalf("PSat(t1)=%v", m.PSat(p.NearSatUpper))
+	}
+	if 1-m.PSat(p.UncertainUpper+0.1) < 0.85 {
+		t.Fatalf("PUnsat(t2+)=%v", 1-m.PSat(p.UncertainUpper+0.1))
+	}
+}
+
+func TestPartitionTightensWithSeparation(t *testing.T) {
+	// Better-separated distributions shrink the uncertain interval — the
+	// Fig 15(b) effect.
+	rng := rand.New(rand.NewSource(3))
+	overlapSat := gaussianSamples(rng, 3, 2, 2000)
+	overlapUnsat := gaussianSamples(rng, 8, 2, 2000)
+	sepSat := gaussianSamples(rng, 1, 1, 2000)
+	sepUnsat := gaussianSamples(rng, 14, 1.5, 2000)
+
+	mOverlap, _ := Fit(overlapSat, overlapUnsat)
+	mSep, _ := Fit(sepSat, sepUnsat)
+	pOverlap := mOverlap.Partition(0.9)
+	pSep := mSep.Partition(0.9)
+
+	all := append(append([]float64{}, overlapSat...), overlapUnsat...)
+	allSep := append(append([]float64{}, sepSat...), sepUnsat...)
+	fOverlap := pOverlap.UncertainFraction(all)
+	fSep := pSep.UncertainFraction(allSep)
+	if fSep >= fOverlap {
+		t.Fatalf("uncertain fraction did not shrink: %v vs %v", fSep, fOverlap)
+	}
+	if mSep.Accuracy(sepSat, sepUnsat) <= mOverlap.Accuracy(overlapSat, overlapUnsat) {
+		t.Fatal("accuracy did not improve with separation")
+	}
+}
+
+func TestUncertainFractionEmpty(t *testing.T) {
+	if DefaultPartition().UncertainFraction(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestPartitionFallbackOnOverlap(t *testing.T) {
+	// Heavily overlapping classes: 90% confidence is unreachable near the
+	// boundary; the partition must fall back to the decision boundary
+	// instead of degenerating to (0,0].
+	m := &Model{MeanSat: 3.6, StdSat: 2.47, MeanUnsat: 8.27, StdUnsat: 4.63, PriorSat: 0.5}
+	p := m.Partition(0.9)
+	if p.NearSatUpper <= 0 {
+		t.Fatalf("degenerate t1: %+v", p)
+	}
+	if p.UncertainUpper < p.NearSatUpper {
+		t.Fatalf("t2 < t1: %+v", p)
+	}
+	// The fallback boundary must sit between the class means.
+	if p.NearSatUpper < m.MeanSat-m.StdSat || p.NearSatUpper > m.MeanUnsat {
+		t.Fatalf("boundary %v outside the plausible band", p.NearSatUpper)
+	}
+}

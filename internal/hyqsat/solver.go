@@ -1,0 +1,434 @@
+package hyqsat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hyqsat/internal/anneal"
+	"hyqsat/internal/chimera"
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/embed"
+	"hyqsat/internal/gnb"
+	"hyqsat/internal/qubo"
+	"hyqsat/internal/sat"
+)
+
+// StrategyMask selects which backend feedback strategies are active, for the
+// Fig 10 ablation. Strategy 3 ("uncertain") performs no action and has no
+// mask bit.
+type StrategyMask uint8
+
+// Feedback strategy bits.
+const (
+	Strategy1 StrategyMask = 1 << iota // all embedded & satisfiable → finish
+	Strategy2                          // (near-)satisfiable → adopt QA assignment
+	Strategy4                          // near-unsatisfiable → prioritise embedded vars
+)
+
+// AllStrategies enables every feedback strategy (the full HyQSAT).
+const AllStrategies = Strategy1 | Strategy2 | Strategy4
+
+// StrategyNone is an explicit empty mask for ablations: it disables every
+// feedback strategy without being mistaken for "unset".
+const StrategyNone StrategyMask = 1 << 7
+
+// Options configures the hybrid solver. The zero value is completed with
+// paper-faithful defaults by New.
+type Options struct {
+	// Hardware is the QA topology; defaults to the D-Wave 2000Q Chimera.
+	Hardware *chimera.Graph
+	// Schedule and Noise configure the annealing substitute. The defaults
+	// (DefaultSchedule, DWave2000QNoise) emulate the real device; use
+	// LongSchedule + NoNoise for the paper's noise-free simulator.
+	Schedule anneal.Schedule
+	Noise    anneal.Noise
+	// Timing is the modelled QA device timing (defaults to D-Wave 2000Q).
+	Timing anneal.TimingModel
+	// Partition classifies QA output energies; defaults to the paper's
+	// published calibration (4.5 / 8).
+	Partition gnb.Partition
+	// CDCL configures the classical solver; defaults to MiniSATOptions.
+	CDCL sat.Options
+	// Strategies enables feedback strategies; defaults to AllStrategies.
+	Strategies StrategyMask
+	// UseActivityQueue selects the §IV-A activity/BFS queue (true, default)
+	// or the random queue of the Fig 14 ablation (false).
+	UseActivityQueue bool
+	// AdjustCoefficients applies the §IV-C noise optimisation (default true).
+	AdjustCoefficients bool
+	// WarmupIterations fixes the hybrid warm-up length; 0 derives √K from
+	// the problem size as the paper does.
+	WarmupIterations int
+	// QueueLimit bounds the clause queue length handed to the embedder
+	// (default 300; the hardware capacity truncates it further).
+	QueueLimit int
+	// TopN is the activity pool for the queue head selection (default 30).
+	TopN int
+	// QAInterval runs the QA frontend/backend every n-th warm-up iteration
+	// (default 1, as in the paper's cross-iterative loop); intermediate
+	// iterations are plain CDCL steps that consume the injected guidance.
+	QAInterval int
+	// ChainStrengthMult scales the ferromagnetic chain coupling relative to
+	// anneal.ChainStrengthFor's default (1.0).
+	ChainStrengthMult float64
+	// Seed drives all stochastic choices.
+	Seed int64
+
+	// set by New to note which defaults were applied
+	defaulted bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hardware == nil {
+		o.Hardware = chimera.DWave2000Q()
+	}
+	if o.Schedule.Sweeps == 0 {
+		o.Schedule = anneal.DefaultSchedule()
+	}
+	if o.Timing == (anneal.TimingModel{}) {
+		o.Timing = anneal.DWave2000QTiming()
+	}
+	if o.Partition == (gnb.Partition{}) {
+		o.Partition = gnb.DefaultPartition()
+	}
+	if o.CDCL == (sat.Options{}) {
+		o.CDCL = sat.MiniSATOptions()
+	}
+	if o.Strategies == 0 && !o.defaulted {
+		o.Strategies = AllStrategies
+	}
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 300
+	}
+	if o.TopN == 0 {
+		o.TopN = 30
+	}
+	if o.QAInterval == 0 {
+		o.QAInterval = 1
+	}
+	if o.ChainStrengthMult == 0 {
+		o.ChainStrengthMult = 1
+	}
+	o.defaulted = true
+	return o
+}
+
+// SimulatorOptions returns the configuration of the paper's noise-free
+// simulator runs (Table I): long annealing schedule, no noise.
+func SimulatorOptions() Options {
+	return Options{
+		Schedule:           anneal.LongSchedule(),
+		Noise:              anneal.NoNoise,
+		UseActivityQueue:   true,
+		AdjustCoefficients: true,
+	}.withDefaults()
+}
+
+// HardwareOptions returns the configuration of the real-QA runs (Table II):
+// fast schedule and device-like noise.
+func HardwareOptions() Options {
+	return Options{
+		Schedule:           anneal.DefaultSchedule(),
+		Noise:              anneal.DWave2000QNoise,
+		UseActivityQueue:   true,
+		AdjustCoefficients: true,
+	}.withDefaults()
+}
+
+// Stats aggregates the hybrid solve counters and the Fig 11 time breakdown.
+type Stats struct {
+	SAT sat.Stats // underlying CDCL counters at termination
+
+	WarmupIterations int // hybrid iterations executed
+	QACalls          int
+	EmbeddedClauses  int64 // cumulative clauses accelerated on QA
+	BrokenChains     int64
+
+	Strategy1Hits int
+	Strategy2Hits int
+	Strategy3Hits int
+	Strategy4Hits int
+
+	// Time breakdown (Fig 11): Frontend/Backend/CDCL are measured CPU time;
+	// QADevice is the modelled annealer access time.
+	Frontend time.Duration
+	Backend  time.Duration
+	CDCL     time.Duration
+	QADevice time.Duration
+}
+
+// Total returns the modelled end-to-end time: CPU time plus QA device time.
+func (s Stats) Total() time.Duration {
+	return s.Frontend + s.Backend + s.CDCL + s.QADevice
+}
+
+// Result is the outcome of a hybrid solve.
+type Result struct {
+	Status sat.Status
+	Model  []bool
+	Stats  Stats
+}
+
+// Solver is the HyQSAT hybrid solver for one formula.
+type Solver struct {
+	opts    Options
+	rng     *rand.Rand
+	formula *cnf.Formula // 3-CNF form actually solved
+	origin  []int        // 3-CNF clause → original clause index
+	sat     *sat.Solver
+	varAdj  [][]int
+	sampler *anneal.Sampler
+	stats   Stats
+
+	// belief accumulates the most recent QA value of every variable that
+	// appeared in a (near-)satisfiable sample — the "maintained assignment"
+	// of feedback strategy 2, reapplied as phases on every call.
+	belief cnf.Assignment
+}
+
+// New builds a hybrid solver. Formulas with clauses longer than three
+// literals are converted to 3-CNF first (the extra variables stay internal;
+// the model returned covers the original variables).
+func New(f *cnf.Formula, opts Options) *Solver {
+	opts = opts.withDefaults()
+	f3, origin := cnf.To3CNF(f)
+	cdclOpts := opts.CDCL
+	cdclOpts.Seed = opts.Seed ^ 0x5a5a5a
+	return &Solver{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		formula: f3,
+		origin:  origin,
+		sat:     sat.New(f3, cdclOpts),
+		varAdj:  cnf.VarAdjacency(f3),
+		sampler: anneal.NewSampler(opts.Schedule, opts.Noise, opts.Seed^0x3c3c3c),
+		belief:  cnf.NewAssignment(f3.NumVars),
+	}
+}
+
+// WarmupBudget returns the number of hybrid iterations: √K with K the
+// estimated classic-CDCL iteration count for the problem size (§III), unless
+// overridden by Options.WarmupIterations.
+func (s *Solver) WarmupBudget() int {
+	if s.opts.WarmupIterations > 0 {
+		return s.opts.WarmupIterations
+	}
+	n := float64(s.formula.NumVars)
+	m := float64(len(s.formula.Clauses))
+	k := n * m / 8
+	w := int(math.Sqrt(k))
+	if w < 4 {
+		w = 4
+	}
+	if w > 2000 {
+		w = 2000
+	}
+	return w
+}
+
+// Stats returns a copy of the hybrid counters accumulated so far.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.SAT = s.sat.Stats()
+	return st
+}
+
+// SATSolver exposes the underlying CDCL solver (for instrumentation).
+func (s *Solver) SATSolver() *sat.Solver { return s.sat }
+
+// Solve runs the hybrid search to completion: √K warm-up iterations with QA
+// guidance, then classic CDCL.
+func (s *Solver) Solve() Result {
+	warmup := s.WarmupBudget()
+	for it := 0; it < warmup; it++ {
+		if it%s.opts.QAInterval != 0 {
+			if done, res := s.stepCDCL(); done {
+				return res
+			}
+			continue
+		}
+		if done, res := s.hybridIteration(); done {
+			return res
+		}
+	}
+	// Remaining iterations: classic CDCL.
+	start := time.Now()
+	r := s.sat.Solve()
+	s.stats.CDCL += time.Since(start)
+	return s.finish(r.Status, r.Model)
+}
+
+func (s *Solver) finish(status sat.Status, model []bool) Result {
+	st := s.Stats()
+	return Result{Status: status, Model: model, Stats: st}
+}
+
+// hybridIteration runs one warm-up iteration: frontend → QA → backend →
+// one CDCL step. It reports completion via done.
+func (s *Solver) hybridIteration() (done bool, res Result) {
+	s.stats.WarmupIterations++
+
+	// --- Frontend: clause queue → embedding → coefficients ---
+	start := time.Now()
+	unsat := s.sat.UnsatisfiedClauses()
+	if len(unsat) == 0 {
+		// Current assignment satisfies everything the decision trail covers;
+		// let CDCL finish (it will extend and terminate).
+		s.stats.Frontend += time.Since(start)
+		return s.stepCDCL()
+	}
+	var queueIdx []int
+	if s.opts.UseActivityQueue {
+		queueIdx = GenerateQueue(s.formula, s.varAdj, s.sat.ClauseScores(),
+			unsat, s.opts.TopN, s.opts.QueueLimit, s.rng)
+	} else {
+		queueIdx = RandomQueue(unsat, s.opts.QueueLimit, s.rng)
+	}
+	queue := make([]cnf.Clause, len(queueIdx))
+	for i, ci := range queueIdx {
+		queue[i] = s.formula.Clauses[ci]
+	}
+	enc, err := qubo.Encode(queue)
+	if err != nil {
+		// Defensive: 3-CNF conversion guarantees encodable clauses.
+		s.stats.Frontend += time.Since(start)
+		return s.stepCDCL()
+	}
+	fastRes := embed.Fast(enc, s.opts.Hardware)
+	if fastRes.EmbeddedClauses == 0 {
+		s.stats.Frontend += time.Since(start)
+		return s.stepCDCL()
+	}
+	embEnc := enc.Restrict(fastRes.EmbeddedSet)
+	if s.opts.AdjustCoefficients {
+		embEnc.AdjustCoefficients()
+	}
+	norm, _ := embEnc.Poly.Normalized()
+	ising := norm.ToIsing()
+	ep := anneal.EmbedIsing(ising, fastRes.Embedding, s.opts.Hardware,
+		s.opts.ChainStrengthMult*anneal.ChainStrengthFor(ising))
+	s.stats.EmbeddedClauses += int64(fastRes.EmbeddedClauses)
+	s.stats.Frontend += time.Since(start)
+
+	// --- QA: a single sample; device time is modelled ---
+	sample := s.sampler.SampleOnce(ep)
+	s.stats.QACalls++
+	s.stats.QADevice += s.opts.Timing.SampleTime()
+	s.stats.BrokenChains += int64(sample.BrokenChains)
+
+	// --- Backend: interpret energy, apply a feedback strategy ---
+	start = time.Now()
+	x := make([]bool, embEnc.NumNodes())
+	for node, v := range sample.NodeValues {
+		if node < len(x) {
+			x[node] = v
+		}
+	}
+	energy := embEnc.UnitEnergy(x)
+	class := s.opts.Partition.Classify(energy)
+	qaAssign := embEnc.AssignmentFromNodes(x, s.formula.NumVars)
+
+	allEmbedded := fastRes.EmbeddedClauses == len(unsat)
+	switch {
+	case class == gnb.Satisfiable && allEmbedded && s.opts.Strategies&Strategy1 != 0:
+		// Strategy 1: candidate full solution. Verify before terminating —
+		// clauses outside the unsat set are satisfied by the current trail,
+		// which the QA assignment must not contradict.
+		s.stats.Strategy1Hits++
+		if model, ok := s.fullModel(qaAssign); ok {
+			s.stats.Backend += time.Since(start)
+			return true, s.finish(sat.Sat, model)
+		}
+		// Not a full model: still use it as guidance (strategy 2 behaviour).
+		if s.opts.Strategies&Strategy2 != 0 {
+			s.sat.SetPhaseHints(qaAssign)
+		}
+	case (class == gnb.Satisfiable || class == gnb.NearSatisfiable) &&
+		s.opts.Strategies&Strategy2 != 0:
+		// Strategy 2: adopt the QA assignment as the next search state
+		// (Fig 9a): the embedded variables take their QA phases and are
+		// decided next (highest-activity first), so the sub-solution is
+		// tested as a unit instead of being rediscovered by search.
+		s.stats.Strategy2Hits++
+		for v, val := range qaAssign {
+			if val != cnf.Undef {
+				s.belief[v] = val
+			}
+		}
+		s.sat.SetPhaseHints(s.belief)
+		if energy < 1e-9 {
+			// An exactly-satisfying core solution is worth testing as a
+			// unit: decide its variables next, highest activity first.
+			vars := make([]cnf.Var, 0, len(embEnc.VarNode))
+			for v := range embEnc.VarNode {
+				vars = append(vars, v)
+			}
+			sort.Slice(vars, func(i, j int) bool {
+				ai, aj := s.sat.VarActivity(vars[i]), s.sat.VarActivity(vars[j])
+				if ai != aj {
+					return ai > aj
+				}
+				return vars[i] < vars[j]
+			})
+			lits := make([]cnf.Lit, 0, len(vars))
+			for _, v := range vars {
+				if qaAssign[v] != cnf.Undef {
+					lits = append(lits, cnf.MkLit(v, qaAssign[v] == cnf.False))
+				}
+			}
+			s.sat.ForceDecisions(lits)
+		}
+	case class == gnb.Uncertain:
+		// Strategy 3: no usable signal.
+		s.stats.Strategy3Hits++
+	case class == gnb.NearUnsatisfiable && s.opts.Strategies&Strategy4 != 0:
+		// Strategy 4: the embedded clauses conflict under any assignment —
+		// decide their variables first to reach the conflict quickly.
+		s.stats.Strategy4Hits++
+		vars := make([]cnf.Var, 0, len(embEnc.VarNode))
+		for v := range embEnc.VarNode {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+		s.sat.PrioritizeVars(vars)
+	}
+	s.stats.Backend += time.Since(start)
+
+	return s.stepCDCL()
+}
+
+// fullModel extends the QA assignment with the current trail and saved
+// phases and verifies it against the whole formula.
+func (s *Solver) fullModel(qa cnf.Assignment) ([]bool, bool) {
+	model := make([]bool, s.formula.NumVars)
+	for v := range model {
+		switch {
+		case qa[v] != cnf.Undef:
+			model[v] = qa[v] == cnf.True
+		case s.sat.VarValue(cnf.Var(v)) != cnf.Undef:
+			model[v] = s.sat.VarValue(cnf.Var(v)) == cnf.True
+		}
+	}
+	if cnf.FromBools(model).Satisfies(s.formula) {
+		return model, true
+	}
+	return nil, false
+}
+
+// stepCDCL advances the classical search by one iteration.
+func (s *Solver) stepCDCL() (bool, Result) {
+	start := time.Now()
+	st := s.sat.Step()
+	s.stats.CDCL += time.Since(start)
+	switch st {
+	case sat.StepSat:
+		return true, s.finish(sat.Sat, s.sat.Model())
+	case sat.StepUnsat:
+		return true, s.finish(sat.Unsat, nil)
+	case sat.StepBudget:
+		return true, s.finish(sat.Unknown, nil)
+	}
+	return false, Result{}
+}

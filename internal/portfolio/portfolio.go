@@ -1,0 +1,159 @@
+// Package portfolio runs several solver configurations concurrently on the
+// same formula and returns the first conclusive answer — the standard
+// parallel-portfolio construction used by SAT competition solvers, here
+// spanning both the classical CDCL configurations and the HyQSAT hybrid.
+//
+// Each entrant runs on its own copy of the formula in its own goroutine;
+// the first Sat or Unsat result cancels the others (they are abandoned, not
+// interrupted mid-step: solvers poll their conflict budget in bounded
+// windows). Results are always cross-checked: a Sat entrant must produce a
+// verified model.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/sat"
+)
+
+// Entrant is one competitor: a name and a function solving the formula
+// within the window budget, returning Unknown when the budget expires.
+type Entrant struct {
+	Name  string
+	Solve func(f *cnf.Formula, budgetConflicts int64) sat.Result
+}
+
+// MiniSATEntrant is the VSIDS/Luby baseline.
+func MiniSATEntrant(seed int64) Entrant {
+	return Entrant{
+		Name: fmt.Sprintf("minisat/s%d", seed),
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			o := sat.MiniSATOptions()
+			o.Seed = seed
+			o.MaxConflicts = budget
+			return sat.New(f, o).Solve()
+		},
+	}
+}
+
+// KissatEntrant is the CHB/LBD baseline.
+func KissatEntrant(seed int64) Entrant {
+	return Entrant{
+		Name: fmt.Sprintf("kissat/s%d", seed),
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			o := sat.KissatOptions()
+			o.Seed = seed
+			o.MaxConflicts = budget
+			return sat.New(f, o).Solve()
+		},
+	}
+}
+
+// HyQSATEntrant is the hybrid solver on the emulated annealer.
+func HyQSATEntrant(seed int64) Entrant {
+	return Entrant{
+		Name: fmt.Sprintf("hyqsat/s%d", seed),
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			o := hyqsat.HardwareOptions()
+			o.Seed = seed
+			o.CDCL.MaxConflicts = budget
+			r := hyqsat.New(f, o).Solve()
+			model := r.Model
+			if r.Status == sat.Sat && len(model) > f.NumVars {
+				model = model[:f.NumVars]
+			}
+			return sat.Result{Status: r.Status, Model: model, Stats: r.Stats.SAT}
+		},
+	}
+}
+
+// DefaultEntrants returns a diverse three-way portfolio.
+func DefaultEntrants(seed int64) []Entrant {
+	return []Entrant{MiniSATEntrant(seed), KissatEntrant(seed + 1), HyQSATEntrant(seed + 2)}
+}
+
+// Outcome is the portfolio result: the winning entrant and its result.
+type Outcome struct {
+	Winner  string
+	Result  sat.Result
+	Elapsed time.Duration
+}
+
+// ErrInvalidModel is reported when a Sat entrant returned a non-model —
+// a solver bug the portfolio refuses to propagate.
+type ErrInvalidModel struct{ Entrant string }
+
+func (e ErrInvalidModel) Error() string {
+	return "portfolio: entrant " + e.Entrant + " returned an invalid model"
+}
+
+// Solve races the entrants on f until one returns a conclusive verified
+// result or the context is cancelled. Entrants solve in conflict-budget
+// windows so cancellation latency stays bounded.
+func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
+	if len(entrants) == 0 {
+		return Outcome{}, fmt.Errorf("portfolio: no entrants")
+	}
+	start := time.Now()
+	type msg struct {
+		name string
+		res  sat.Result
+		err  error
+	}
+	results := make(chan msg, len(entrants))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for _, e := range entrants {
+		e := e
+		go func() {
+			// Window sizes grow geometrically so easy instances finish in
+			// the first window and cancellation stays responsive on hard
+			// ones. Every window restarts the entrant from scratch; learnt
+			// state is entrant-local.
+			budget := int64(20_000)
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				r := e.Solve(f.Copy(), budget)
+				if r.Status == sat.Sat {
+					if !cnf.FromBools(r.Model[:f.NumVars]).Satisfies(f) {
+						results <- msg{e.Name, r, ErrInvalidModel{e.Name}}
+						return
+					}
+					results <- msg{e.Name, r, nil}
+					return
+				}
+				if r.Status == sat.Unsat {
+					results <- msg{e.Name, r, nil}
+					return
+				}
+				budget *= 4
+			}
+		}()
+	}
+
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case m := <-results:
+			if m.err != nil {
+				failures++
+				if failures == len(entrants) {
+					return Outcome{}, m.err
+				}
+				continue
+			}
+			return Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start)}, nil
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package portfolio
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/gen"
+	"hyqsat/internal/sat"
+)
+
+func TestPortfolioSatisfiable(t *testing.T) {
+	inst := gen.SatisfiableRandom3SAT(40, 168, 5)
+	out, err := Solve(context.Background(), inst.Formula, DefaultEntrants(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Status != sat.Sat {
+		t.Fatalf("status %v", out.Result.Status)
+	}
+	if !cnf.FromBools(out.Result.Model[:inst.Formula.NumVars]).Satisfies(inst.Formula) {
+		t.Fatal("winning model invalid")
+	}
+	if out.Winner == "" || out.Elapsed <= 0 {
+		t.Fatalf("outcome metadata missing: %+v", out)
+	}
+}
+
+func TestPortfolioUnsatisfiable(t *testing.T) {
+	inst := gen.CmpAdd(6, 3)
+	out, err := Solve(context.Background(), inst.Formula, DefaultEntrants(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Status != sat.Unsat {
+		t.Fatalf("status %v", out.Result.Status)
+	}
+}
+
+func TestPortfolioContextCancel(t *testing.T) {
+	// A hard instance with a pre-cancelled deadline must return promptly.
+	rng := rand.New(rand.NewSource(7))
+	f := cnf.New(200)
+	for i := 0; i < 900; i++ {
+		perm := rng.Perm(200)[:3]
+		c := make(cnf.Clause, 3)
+		for j, v := range perm {
+			c[j] = cnf.MkLit(cnf.Var(v), rng.Intn(2) == 0)
+		}
+		f.AddClause(c)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Solve(ctx, f, []Entrant{MiniSATEntrant(1)})
+	if err == nil {
+		// The instance may legitimately be solved within 50ms; accept both.
+		return
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+}
+
+func TestPortfolioNoEntrants(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	if _, err := Solve(context.Background(), f, nil); err == nil {
+		t.Fatal("expected error with no entrants")
+	}
+}
+
+func TestPortfolioRejectsInvalidModels(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1)
+	f.Add(2)
+	liar := Entrant{
+		Name: "liar",
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			return sat.Result{Status: sat.Sat, Model: []bool{false, false}}
+		},
+	}
+	if _, err := Solve(context.Background(), f, []Entrant{liar}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestPortfolioAgreesWithDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		inst := gen.Random3SAT(30, 126, rng.Int63())
+		want := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve().Status
+		out, err := Solve(context.Background(), inst.Formula, DefaultEntrants(int64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Result.Status != want {
+			t.Fatalf("trial %d: portfolio %v, direct %v", trial, out.Result.Status, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package qubo
+
+import (
+	"fmt"
+
+	"hyqsat/internal/cnf"
+)
+
+// SubClause is one of the decomposed pieces of a clause (Eq. 3) with its own
+// objective polynomial (Eq. 4, built with α = 1) and its adjusted coefficient
+// α (Eq. 7–9). A violated sub-clause contributes exactly α to the total
+// energy, which is what makes QA energies interpretable as (weighted) counts
+// of violated sub-clauses.
+type SubClause struct {
+	Clause int   // index of the source clause within the encoded subset
+	Poly   *Poly // objective with α=1
+	Alpha  float64
+}
+
+// Encoding is the QA problem built from a set of clauses: node numbering for
+// logical and auxiliary variables, per-sub-clause objectives, and the summed
+// objective polynomial of Eq. 5.
+type Encoding struct {
+	Clauses []cnf.Clause // the encoded clause subset (aliases caller storage)
+
+	VarNode map[cnf.Var]int // logical variable → node
+	NodeVar []cnf.Var       // node → logical variable, or cnf.NoVar for auxiliaries
+	AuxNode []int           // per clause: auxiliary node, or −1 when none was needed
+
+	Sub  []SubClause
+	Poly *Poly // Σ α_ij · H_ij  (Eq. 5); rebuilt by AdjustCoefficients
+}
+
+// NumNodes returns the total number of nodes (logical + auxiliary).
+func (e *Encoding) NumNodes() int { return len(e.NodeVar) }
+
+// litPoly returns H_l (Eq. 4's building block): x for a positive literal and
+// 1−x for a negative one, over the node of the literal's variable.
+func litPoly(l cnf.Lit, node int) *Poly {
+	if l.IsNeg() {
+		return Const(1).Sub(Variable(node))
+	}
+	return Variable(node)
+}
+
+// Encode builds the QA encoding of the given clauses, following the paper's
+// decomposition: a 3-literal clause c = l1∨l2∨l3 becomes
+// c₁ = a ↔ (l1∨l2) and c₂ = l3∨a (Eq. 3) with the objectives of Eq. 4;
+// 1- and 2-literal clauses are encoded directly without an auxiliary.
+// Clauses longer than three literals are rejected (convert with cnf.To3CNF
+// first). All α coefficients start at 1 (prior work's setting).
+func Encode(clauses []cnf.Clause) (*Encoding, error) {
+	e := &Encoding{
+		Clauses: clauses,
+		VarNode: map[cnf.Var]int{},
+		AuxNode: make([]int, len(clauses)),
+		Poly:    NewPoly(),
+	}
+	node := func(v cnf.Var) int {
+		if n, ok := e.VarNode[v]; ok {
+			return n
+		}
+		n := len(e.NodeVar)
+		e.VarNode[v] = n
+		e.NodeVar = append(e.NodeVar, v)
+		return n
+	}
+	newAux := func() int {
+		n := len(e.NodeVar)
+		e.NodeVar = append(e.NodeVar, cnf.NoVar)
+		return n
+	}
+
+	for k, c := range clauses {
+		e.AuxNode[k] = -1
+		switch len(c) {
+		case 0:
+			return nil, fmt.Errorf("qubo: clause %d is empty", k)
+		case 1:
+			// H = 1 − H1: zero iff the literal is true.
+			h := Const(1).Sub(litPoly(c[0], node(c[0].Var())))
+			e.Sub = append(e.Sub, SubClause{Clause: k, Poly: h, Alpha: 1})
+		case 2:
+			// H = (1−H1)(1−H2): zero iff some literal is true.
+			h1 := litPoly(c[0], node(c[0].Var()))
+			h2 := litPoly(c[1], node(c[1].Var()))
+			h := Const(1).Sub(h1).Mul(Const(1).Sub(h2))
+			e.Sub = append(e.Sub, SubClause{Clause: k, Poly: h, Alpha: 1})
+		case 3:
+			a := newAux()
+			e.AuxNode[k] = a
+			ha := Variable(a)
+			h1 := litPoly(c[0], node(c[0].Var()))
+			h2 := litPoly(c[1], node(c[1].Var()))
+			h3 := litPoly(c[2], node(c[2].Var()))
+			// Eq. 4, first sub-clause: a ↔ (l1 ∨ l2).
+			c1 := ha.Add(h1).Add(h2).
+				Sub(ha.Mul(h1).Scale(2)).
+				Sub(ha.Mul(h2).Scale(2)).
+				Add(h1.Mul(h2))
+			// Eq. 4, second sub-clause: l3 ∨ a.
+			c2 := Const(1).Sub(ha).Sub(h3).Add(ha.Mul(h3))
+			e.Sub = append(e.Sub,
+				SubClause{Clause: k, Poly: c1, Alpha: 1},
+				SubClause{Clause: k, Poly: c2, Alpha: 1})
+		default:
+			return nil, fmt.Errorf("qubo: clause %d has %d literals; 3-CNF required", k, len(c))
+		}
+	}
+	e.rebuild()
+	return e, nil
+}
+
+// rebuild recomputes the summed objective (Eq. 5) from the sub-clause
+// objectives and their current α coefficients.
+func (e *Encoding) rebuild() {
+	p := NewPoly()
+	for i := range e.Sub {
+		p.AddScaled(e.Sub[i].Poly, e.Sub[i].Alpha)
+	}
+	e.Poly = p
+}
+
+// AdjustCoefficients applies the paper's noise optimisation (§IV-C,
+// Eq. 6–9): with all α=1 it computes the global d* of the summed objective
+// and each sub-clause's own d_ij, then raises α_ij to d*/d_ij and rebuilds
+// the objective. This widens the energy gap that normalisation would
+// otherwise crush, at the cost of exactly one extra objective evaluation.
+// It returns the d* that was used.
+func (e *Encoding) AdjustCoefficients() float64 {
+	for i := range e.Sub {
+		e.Sub[i].Alpha = 1
+	}
+	e.rebuild()
+	dStar := e.Poly.DStar()
+	if dStar == 0 {
+		return 0
+	}
+	for i := range e.Sub {
+		dij := e.Sub[i].Poly.DStar()
+		if dij > 0 {
+			e.Sub[i].Alpha = dStar / dij
+		}
+	}
+	e.rebuild()
+	return dStar
+}
+
+// Restrict returns a new encoding over the same node numbering containing
+// only the given clauses (indices into e.Clauses, in ascending order). The
+// restriction is how a partially-embedded clause queue becomes the problem
+// actually programmed on hardware: node ids stay aligned with the embedding
+// produced against the full encoding.
+func (e *Encoding) Restrict(clauseSet []int) *Encoding {
+	r := &Encoding{
+		VarNode: map[cnf.Var]int{},
+		NodeVar: e.NodeVar,
+		Poly:    NewPoly(),
+	}
+	inSet := make(map[int]int, len(clauseSet)) // old clause index → new
+	for _, ci := range clauseSet {
+		inSet[ci] = len(r.Clauses)
+		r.Clauses = append(r.Clauses, e.Clauses[ci])
+		r.AuxNode = append(r.AuxNode, e.AuxNode[ci])
+		for _, l := range e.Clauses[ci] {
+			r.VarNode[l.Var()] = e.VarNode[l.Var()]
+		}
+	}
+	for i := range e.Sub {
+		if ni, ok := inSet[e.Sub[i].Clause]; ok {
+			sc := e.Sub[i]
+			sc.Clause = ni
+			r.Sub = append(r.Sub, sc)
+		}
+	}
+	r.rebuild()
+	return r
+}
+
+// UnitEnergy evaluates the α=1 objective at a node assignment: the number of
+// violated sub-clauses. This is the scale on which the backend's
+// satisfaction-probability intervals (Fig 8) are defined.
+func (e *Encoding) UnitEnergy(x []bool) float64 {
+	total := 0.0
+	for i := range e.Sub {
+		total += e.Sub[i].Poly.EnergyDense(x)
+	}
+	return total
+}
+
+// ViolatedSubClauses returns the indices of sub-clauses with positive energy
+// under the assignment.
+func (e *Encoding) ViolatedSubClauses(x []bool) []int {
+	var out []int
+	for i := range e.Sub {
+		if e.Sub[i].Poly.EnergyDense(x) > 1e-9 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AssignmentFromNodes converts a node-level assignment back to a partial
+// assignment over the original SAT variables (auxiliaries are dropped).
+func (e *Encoding) AssignmentFromNodes(x []bool, numVars int) cnf.Assignment {
+	a := cnf.NewAssignment(numVars)
+	for v, n := range e.VarNode {
+		a.Set(v, x[n])
+	}
+	return a
+}
+
+// NodesFromAssignment builds a node-level assignment from SAT variable
+// values, choosing each auxiliary optimally (a_k := l1∨l2, its defining
+// equivalence) so that a satisfying SAT assignment yields zero energy.
+func (e *Encoding) NodesFromAssignment(a cnf.Assignment) []bool {
+	x := make([]bool, e.NumNodes())
+	for v, n := range e.VarNode {
+		x[n] = a[v] == cnf.True
+	}
+	for k, c := range e.Clauses {
+		if e.AuxNode[k] < 0 {
+			continue
+		}
+		l1True := a.Lit(c[0]) == cnf.True
+		l2True := a.Lit(c[1]) == cnf.True
+		x[e.AuxNode[k]] = l1True || l2True
+	}
+	return x
+}
+
+// ProblemGraph returns the adjacency structure of the encoding's problem
+// graph: the set of node pairs with non-zero quadratic coefficients. This is
+// what must be embedded into the hardware graph.
+func (e *Encoding) ProblemGraph() []Edge {
+	out := make([]Edge, 0, len(e.Poly.Quad))
+	for ed := range e.Poly.Quad {
+		out = append(out, ed)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// polyGen builds random small polynomials for property tests.
+type polyGen struct {
+	Offset  float64
+	Linear  [5]float64
+	Quads   [4]float64
+	Present [4]bool
+}
+
+func (polyGen) Generate(rng *rand.Rand, size int) reflect.Value {
+	var g polyGen
+	g.Offset = rng.NormFloat64()
+	for i := range g.Linear {
+		g.Linear[i] = rng.NormFloat64()
+	}
+	for i := range g.Quads {
+		g.Quads[i] = rng.NormFloat64()
+		g.Present[i] = rng.Intn(2) == 0
+	}
+	return reflect.ValueOf(g)
+}
+
+func (g polyGen) poly() *Poly {
+	p := NewPoly()
+	p.Offset = g.Offset
+	for i, c := range g.Linear {
+		p.AddLinear(i, c)
+	}
+	pairs := [4][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	for i, c := range g.Quads {
+		if g.Present[i] {
+			p.AddQuad(pairs[i][0], pairs[i][1], c)
+		}
+	}
+	return p
+}
+
+func assignment(bits uint8) []bool {
+	x := make([]bool, 5)
+	for i := range x {
+		x[i] = bits&(1<<uint(i)) != 0
+	}
+	return x
+}
+
+func TestQuickEnergyAdditive(t *testing.T) {
+	// Energy(p + q) == Energy(p) + Energy(q) pointwise.
+	f := func(a, b polyGen, bits uint8) bool {
+		p, q := a.poly(), b.poly()
+		x := assignment(bits)
+		sum := p.Add(q)
+		return math.Abs(sum.EnergyDense(x)-(p.EnergyDense(x)+q.EnergyDense(x))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnergyScaling(t *testing.T) {
+	f := func(a polyGen, factor float64, bits uint8) bool {
+		if math.IsNaN(factor) || math.IsInf(factor, 0) || math.Abs(factor) > 1e6 {
+			return true
+		}
+		p := a.poly()
+		x := assignment(bits)
+		return math.Abs(p.Scale(factor).EnergyDense(x)-factor*p.EnergyDense(x)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIsingEquivalence(t *testing.T) {
+	// The Ising form evaluates identically to the QUBO form at every corner.
+	f := func(a polyGen, bits uint8) bool {
+		p := a.poly()
+		is := p.ToIsing()
+		x := assignment(bits)
+		spins := map[int]bool{}
+		for i, v := range x {
+			spins[i] = v
+		}
+		return math.Abs(p.EnergyDense(x)-is.Energy(spins)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDStarScaleInvariance(t *testing.T) {
+	// DStar(c·p) == |c|·DStar(p).
+	f := func(a polyGen, factor float64) bool {
+		if math.IsNaN(factor) || math.IsInf(factor, 0) || math.Abs(factor) > 1e6 {
+			return true
+		}
+		p := a.poly()
+		got := p.Scale(factor).DStar()
+		want := math.Abs(factor) * p.DStar()
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizedRanges(t *testing.T) {
+	// After normalisation, |B| ≤ 2 and |J| ≤ 1 always hold.
+	f := func(a polyGen) bool {
+		n, _ := a.poly().Normalized()
+		for _, c := range n.Linear {
+			if math.Abs(c) > 2+1e-9 {
+				return false
+			}
+		}
+		for _, c := range n.Quad {
+			if math.Abs(c) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCopyIsDeep(t *testing.T) {
+	f := func(a polyGen, bits uint8) bool {
+		p := a.poly()
+		q := p.Copy()
+		q.AddLinear(0, 1)
+		q.AddQuad(0, 1, 1)
+		x := assignment(bits)
+		// p unchanged by mutations of q.
+		return math.Abs(p.EnergyDense(x)-a.poly().EnergyDense(x)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

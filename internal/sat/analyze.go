@@ -1,0 +1,188 @@
+package sat
+
+import "hyqsat/internal/cnf"
+
+// analyze derives a first-UIP learnt clause from the conflict, returning the
+// learnt literals (asserting literal first) and the backjump level. It also
+// bumps variable activities, CHB scores, and the paper's per-input-clause
+// activity scores for every clause involved in the resolution.
+func (s *Solver) analyze(conflict cref) (learnt []cnf.Lit, backjump int32) {
+	learnt = s.analyzeBuf[:0]
+	learnt = append(learnt, cnf.NoLit) // reserve slot for the asserting literal
+
+	pathC := 0
+	p := cnf.NoLit
+	idx := len(s.trail) - 1
+	c := conflict
+
+	var bumped []cnf.Var
+	for {
+		cl := &s.clauses[c]
+		if cl.learnt {
+			s.claBump(cl)
+		}
+		if cl.orig >= 0 {
+			// Paper §IV-A: "the activity score of the involved clauses in the
+			// backtrack increases by a constant."
+			s.clauseScore[cl.orig] += 1.0
+			if s.confVisits != nil {
+				s.confVisits[cl.orig]++
+			}
+		}
+		start := 0
+		if p != cnf.NoLit {
+			start = 1 // lits[0] is p itself after the swap in propagate
+		}
+		for _, q := range cl.lits[start:] {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpOnConflict(v)
+			bumped = append(bumped, v)
+			if s.level[v] >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to resolve on: walk the trail backwards to the
+		// most recent seen variable at the current decision level.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimisation (basic mode): a literal is redundant if its reason
+	// clause is entirely made of seen/root literals.
+	removed := 0
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if s.litRedundant(q) {
+			removed++
+			continue
+		}
+		out = append(out, q)
+	}
+	s.stats.Minimized += int64(removed)
+	learnt = out
+
+	// Compute backjump level: the second-highest level in the clause.
+	backjump = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backjump = s.level[learnt[1].Var()]
+	}
+
+	// Clear seen flags for the learnt literals (the resolved ones were
+	// cleared as we walked the trail).
+	for _, q := range learnt {
+		s.seen[q.Var()] = false
+	}
+	for _, v := range bumped {
+		s.seen[v] = false
+	}
+	s.analyzeBuf = learnt
+	return learnt, backjump
+}
+
+// litRedundant reports whether learnt literal q can be removed because every
+// literal of its reason clause is already seen or fixed at the root level.
+func (s *Solver) litRedundant(q cnf.Lit) bool {
+	r := s.reason[q.Var()]
+	if r == crefUndef {
+		return false
+	}
+	for _, l := range s.clauses[r].lits {
+		if l.Var() == q.Var() {
+			continue
+		}
+		if !s.seen[l.Var()] && s.level[l.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bumpOnConflict applies the heuristic-specific score update for a variable
+// encountered during conflict analysis.
+func (s *Solver) bumpOnConflict(v cnf.Var) {
+	switch s.opts.Heuristic {
+	case CHB:
+		// Conflict-history bandit: reward is larger the more recently the
+		// variable last participated in a conflict.
+		reward := 1.0 / float64(s.stats.Conflicts-s.lastConflict[v]+1)
+		s.varAct[v] = (1-s.chbAlpha)*s.varAct[v] + s.chbAlpha*reward
+		s.lastConflict[v] = s.stats.Conflicts
+		s.order.update(v)
+	default:
+		s.varBump(v, s.varInc)
+	}
+}
+
+// computeLBD counts the distinct decision levels among the clause literals
+// (the "literal block distance" glue metric).
+func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
+	seen := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		seen[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(seen))
+}
+
+// handleConflict learns from the conflict and backjumps. It returns false
+// when the conflict proves unsatisfiability (conflict at the root level).
+func (s *Solver) handleConflict(conflict cref) bool {
+	s.stats.Conflicts++
+	if s.decisionLevel() == s.rootLevel {
+		s.status = Unsat
+		s.conflictC = conflict
+		return false
+	}
+	learnt, backjump := s.analyze(conflict)
+	s.cancelUntil(backjump)
+	if len(learnt) == 1 {
+		if !s.enqueue(learnt[0], crefUndef) {
+			s.status = Unsat
+			return false
+		}
+	} else {
+		c := s.attachClause(learnt, true, -1)
+		s.clauses[c].lbd = s.computeLBD(learnt)
+		s.stats.Learned++
+		if !s.enqueue(learnt[0], c) {
+			panic("sat: asserting literal already false after backjump")
+		}
+	}
+	switch s.opts.Heuristic {
+	case CHB:
+		// Decay α towards its floor, per the CHB schedule.
+		if s.chbAlpha > 0.06 {
+			s.chbAlpha -= 1e-6
+		}
+	default:
+		s.varDecayActivity()
+	}
+	s.claDecayActivity()
+	s.updateRestartEMA()
+	return true
+}

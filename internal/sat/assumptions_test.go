@@ -1,0 +1,107 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyqsat/internal/cnf"
+)
+
+func TestAssumptionsBasic(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x3)
+	f := cnf.New(3)
+	f.Add(1, 2)
+	f.Add(-1, 3)
+	s := New(f, MiniSATOptions())
+
+	r := s.SolveWithAssumptions([]cnf.Lit{cnf.Pos(0)})
+	if r.Status != Sat || !r.Model[0] || !r.Model[2] {
+		t.Fatalf("assume x1: %v %v", r.Status, r.Model)
+	}
+	r = s.SolveWithAssumptions([]cnf.Lit{cnf.Neg(0)})
+	if r.Status != Sat || r.Model[0] || !r.Model[1] {
+		t.Fatalf("assume ¬x1: %v %v", r.Status, r.Model)
+	}
+}
+
+func TestAssumptionsUnsatUnderButSatGlobally(t *testing.T) {
+	// x1 ∨ x2, plus assumptions ¬x1 ∧ ¬x2 → Unsat under assumptions only.
+	f := cnf.New(2)
+	f.Add(1, 2)
+	s := New(f, MiniSATOptions())
+	r := s.SolveWithAssumptions([]cnf.Lit{cnf.Neg(0), cnf.Neg(1)})
+	if r.Status != Unsat || !r.AssumptionsFailed {
+		t.Fatalf("want assumption failure, got %v failed=%v", r.Status, r.AssumptionsFailed)
+	}
+	// The solver must remain usable and find the global model.
+	r = s.Solve()
+	if r.Status != Sat {
+		t.Fatalf("solver unusable after assumption failure: %v", r.Status)
+	}
+}
+
+func TestAssumptionsGloballyUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	f.Add(-1)
+	s := New(f, MiniSATOptions())
+	r := s.SolveWithAssumptions(nil)
+	if r.Status != Unsat || r.AssumptionsFailed {
+		t.Fatalf("global unsat mislabelled: %v failed=%v", r.Status, r.AssumptionsFailed)
+	}
+}
+
+func TestAssumptionsIncrementalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		nv := rng.Intn(7) + 3
+		f := randomFormula(rng, nv, rng.Intn(20)+3, 3)
+		s := New(f.Copy(), MiniSATOptions())
+		// Several assumption sets against the same solver instance.
+		for q := 0; q < 4; q++ {
+			k := rng.Intn(nv-1) + 1
+			assumps := make([]cnf.Lit, 0, k)
+			seen := map[cnf.Var]bool{}
+			for len(assumps) < k {
+				v := cnf.Var(rng.Intn(nv))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				assumps = append(assumps, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			// Brute-force reference: conjoin assumptions as units.
+			g := f.Copy()
+			for _, a := range assumps {
+				g.AddClause(cnf.Clause{a})
+			}
+			want := bruteForce(g)
+			r := s.SolveWithAssumptions(assumps)
+			if (r.Status == Sat) != want {
+				t.Fatalf("trial %d/%d: got %v want sat=%v (assumps %v)",
+					trial, q, r.Status, want, assumps)
+			}
+			if r.Status == Sat {
+				m := cnf.FromBools(r.Model)
+				if !m.Satisfies(f) {
+					t.Fatal("model violates formula")
+				}
+				for _, a := range assumps {
+					if m.Lit(a) != cnf.True {
+						t.Fatalf("model violates assumption %v", a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptionsRepeatedLiteral(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1, 2)
+	s := New(f, MiniSATOptions())
+	r := s.SolveWithAssumptions([]cnf.Lit{cnf.Pos(0), cnf.Pos(0)})
+	if r.Status != Sat || !r.Model[0] {
+		t.Fatalf("repeated assumption: %v", r.Status)
+	}
+}

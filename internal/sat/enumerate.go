@@ -1,0 +1,62 @@
+package sat
+
+import "hyqsat/internal/cnf"
+
+// EnumerateModels finds up to limit satisfying assignments of f (limit ≤ 0
+// enumerates all), by repeatedly solving and adding a blocking clause that
+// excludes each found model. Models are reported through yield; returning
+// false from yield stops the enumeration early. The total count of reported
+// models is returned together with whether enumeration is exhaustive (true
+// when the search space was fully covered rather than cut off by limit or
+// yield).
+//
+// Blocking clauses are built over the decision variables only when the
+// model projection proj is non-nil; otherwise over all variables. Projection
+// enumerates the distinct restrictions of models to the projected set.
+func EnumerateModels(f *cnf.Formula, opts Options, limit int,
+	proj []cnf.Var, yield func(model []bool) bool) (count int, exhaustive bool) {
+
+	work := f.Copy()
+	for {
+		if limit > 0 && count >= limit {
+			return count, false
+		}
+		s := New(work, opts)
+		r := s.Solve()
+		switch r.Status {
+		case Unsat:
+			return count, true
+		case Unknown:
+			return count, false
+		}
+		count++
+		keepGoing := yield == nil || yield(r.Model)
+
+		// Block this model (or its projection).
+		vars := proj
+		if vars == nil {
+			vars = make([]cnf.Var, f.NumVars)
+			for i := range vars {
+				vars[i] = cnf.Var(i)
+			}
+		}
+		block := make(cnf.Clause, 0, len(vars))
+		for _, v := range vars {
+			block = append(block, cnf.MkLit(v, r.Model[v]))
+		}
+		if len(block) == 0 {
+			return count, true // empty projection: a single class
+		}
+		work.AddClause(block)
+		if !keepGoing {
+			return count, false
+		}
+	}
+}
+
+// CountModels returns the number of satisfying assignments of f, up to
+// limit (0 = unbounded). Exponential in the worst case; intended for small
+// formulas, tests, and cross-checks.
+func CountModels(f *cnf.Formula, opts Options, limit int) (int, bool) {
+	return EnumerateModels(f, opts, limit, nil, nil)
+}

@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyqsat/internal/cnf"
+)
+
+func bruteCount(f *cnf.Formula) int {
+	n := 0
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		a := cnf.NewAssignment(f.NumVars)
+		for i := 0; i < f.NumVars; i++ {
+			a.Set(cnf.Var(i), mask&(1<<i) != 0)
+		}
+		if a.Satisfies(f) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCountModelsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		nv := rng.Intn(6) + 2
+		f := randomFormula(rng, nv, rng.Intn(12)+1, 3)
+		want := bruteCount(f)
+		got, exhaustive := CountModels(f, MiniSATOptions(), 0)
+		if !exhaustive {
+			t.Fatalf("trial %d: not exhaustive", trial)
+		}
+		if got != want {
+			t.Fatalf("trial %d: counted %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestEnumerateModelsYieldsValidDistinctModels(t *testing.T) {
+	f := cnf.New(3)
+	f.Add(1, 2, 3)
+	seen := map[[3]bool]bool{}
+	count, exhaustive := EnumerateModels(f, MiniSATOptions(), 0, nil, func(m []bool) bool {
+		key := [3]bool{m[0], m[1], m[2]}
+		if seen[key] {
+			t.Fatal("duplicate model")
+		}
+		seen[key] = true
+		if !cnf.FromBools(m).Satisfies(f) {
+			t.Fatal("invalid model yielded")
+		}
+		return true
+	})
+	if !exhaustive || count != 7 {
+		t.Fatalf("count=%d exhaustive=%v, want 7 models", count, exhaustive)
+	}
+}
+
+func TestEnumerateModelsLimit(t *testing.T) {
+	f := cnf.New(4)
+	f.Add(1, 2, 3, 4)
+	count, exhaustive := CountModels(f, MiniSATOptions(), 3)
+	if count != 3 || exhaustive {
+		t.Fatalf("limit ignored: count=%d exhaustive=%v", count, exhaustive)
+	}
+}
+
+func TestEnumerateModelsEarlyStop(t *testing.T) {
+	f := cnf.New(3)
+	f.Add(1, 2, 3)
+	count, exhaustive := EnumerateModels(f, MiniSATOptions(), 0, nil, func([]bool) bool {
+		return false
+	})
+	if count != 1 || exhaustive {
+		t.Fatalf("early stop: count=%d exhaustive=%v", count, exhaustive)
+	}
+}
+
+func TestEnumerateModelsProjection(t *testing.T) {
+	// Models over (x1,x2) projected to x1: exactly 2 classes when both
+	// polarities of x1 are realisable.
+	f := cnf.New(2)
+	f.Add(1, 2)
+	count, exhaustive := EnumerateModels(f, MiniSATOptions(), 0,
+		[]cnf.Var{0}, nil)
+	if !exhaustive || count != 2 {
+		t.Fatalf("projection count=%d exhaustive=%v, want 2", count, exhaustive)
+	}
+}
+
+func TestCountModelsUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	f.Add(-1)
+	count, exhaustive := CountModels(f, MiniSATOptions(), 0)
+	if count != 0 || !exhaustive {
+		t.Fatalf("unsat count=%d exhaustive=%v", count, exhaustive)
+	}
+}

@@ -1,0 +1,104 @@
+package sat
+
+import "hyqsat/internal/cnf"
+
+// varHeap is a max-heap of variables ordered by an activity slice, with an
+// index map for decrease/increase-key, as used by CDCL branching heuristics.
+type varHeap struct {
+	act     []float64 // shared with the solver; heap does not own it
+	heap    []cnf.Var
+	indices []int // position of each var in heap, -1 if absent
+}
+
+func newVarHeap(act []float64) *varHeap {
+	h := &varHeap{act: act, indices: make([]int, len(act))}
+	for i := range h.indices {
+		h.indices[i] = -1
+	}
+	return h
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool { return h.act[a] > h.act[b] }
+
+func (h *varHeap) contains(v cnf.Var) bool { return h.indices[v] >= 0 }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v cnf.Var) {
+	if h.contains(v) {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(len(h.heap) - 1)
+}
+
+// pop removes and returns the variable with the highest activity.
+func (h *varHeap) pop() cnf.Var {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// update restores heap order after the activity of v changed (in either
+// direction). No-op if v is not currently in the heap.
+func (h *varHeap) update(v cnf.Var) {
+	i := h.indices[v]
+	if i < 0 {
+		return
+	}
+	h.up(i)
+	h.down(h.indices[v])
+}
+
+// rebuild re-heapifies after a bulk activity change (e.g. rescaling).
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.indices[h.heap[i]] = i
+		i = best
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

@@ -1,0 +1,130 @@
+package sat
+
+import (
+	"sort"
+
+	"hyqsat/internal/cnf"
+)
+
+// This file contains the introspection and guidance hooks consumed by the
+// HyQSAT hybrid loop (paper §IV frontend and §V backend). They are part of
+// the package API so that alternative hybrid policies can be built on the
+// same solver.
+
+// ClauseScore returns the paper's activity score of input clause i
+// (§IV-A: initialised to 1, bumped whenever the clause participates in
+// resolving a conflict).
+func (s *Solver) ClauseScore(i int) float64 { return s.clauseScore[i] }
+
+// ClauseScores returns the activity scores of all input clauses.
+// The returned slice is owned by the solver; callers must not mutate it.
+func (s *Solver) ClauseScores() []float64 { return s.clauseScore }
+
+// TopActiveClauses returns the indices of the n input clauses with the
+// highest activity scores, most active first.
+func (s *Solver) TopActiveClauses(n int) []int {
+	idx := make([]int, len(s.clauseScore))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if s.clauseScore[idx[a]] != s.clauseScore[idx[b]] {
+			return s.clauseScore[idx[a]] > s.clauseScore[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	return idx[:n]
+}
+
+// UnsatisfiedClauses returns the indices of input clauses not currently
+// satisfied by the partial assignment (the clause set the frontend receives
+// from the decision step).
+func (s *Solver) UnsatisfiedClauses() []int {
+	var out []int
+	for i, c := range s.formula.Clauses {
+		sat := false
+		for _, l := range c {
+			if s.value(l) == cnf.True {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CurrentAssignment returns a snapshot of the current (partial) assignment.
+func (s *Solver) CurrentAssignment() cnf.Assignment {
+	return append(cnf.Assignment(nil), s.assigns...)
+}
+
+// VarValue returns the current truth value of v.
+func (s *Solver) VarValue(v cnf.Var) cnf.Value { return s.assigns[v] }
+
+// SetPhaseHint biases future decisions on v towards the given polarity
+// (feedback strategy 2: adopt the QA assignment as the next search state).
+func (s *Solver) SetPhaseHint(v cnf.Var, phase bool) {
+	s.polarity[v] = phase
+}
+
+// SetPhaseHints applies SetPhaseHint for every assigned variable of a.
+func (s *Solver) SetPhaseHints(a cnf.Assignment) {
+	for v, val := range a {
+		if val != cnf.Undef {
+			s.polarity[v] = val == cnf.True
+		}
+	}
+}
+
+// PrioritizeVars bumps the branching priority of the given variables so they
+// are decided before others (feedback strategy 4: steer the search into the
+// known-conflicting subspace to fail fast).
+func (s *Solver) PrioritizeVars(vars []cnf.Var) {
+	if len(vars) == 0 {
+		return
+	}
+	// Lift the chosen variables above the current maximum activity while
+	// preserving their relative order.
+	max := 0.0
+	for _, a := range s.varAct {
+		if a > max {
+			max = a
+		}
+	}
+	for _, v := range vars {
+		s.varBump(v, max+s.varInc-s.varAct[v])
+	}
+}
+
+// ForceDecisions replaces the queue of literals the solver will prefer as
+// its upcoming decisions (assigned variables are skipped when reached).
+// This is how the hybrid backend injects a QA assignment as the next search
+// state (feedback strategy 2, Fig 9a).
+func (s *Solver) ForceDecisions(lits []cnf.Lit) {
+	s.forced = append(s.forced[:0], lits...)
+}
+
+// VarActivity returns the current branching activity of v.
+func (s *Solver) VarActivity(v cnf.Var) float64 { return s.varAct[v] }
+
+// VisitCounts returns per-input-clause propagation and conflict visit
+// counters (requires Options.TrackVisits; both nil otherwise). Used to
+// reproduce Fig 5. The returned slices are owned by the solver.
+func (s *Solver) VisitCounts() (prop, conf []int64) {
+	return s.propVisits, s.confVisits
+}
+
+// Formula returns the input formula the solver was built from.
+func (s *Solver) Formula() *cnf.Formula { return s.formula }
+
+// DecisionLevel returns the current decision level (0 = root).
+func (s *Solver) DecisionLevel() int { return int(s.decisionLevel()) }
+
+// NumLearnts returns the number of live learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }

@@ -1,0 +1,69 @@
+package sat
+
+import "hyqsat/internal/cnf"
+
+// propagate performs unit propagation with two watched literals until a fixed
+// point or a conflict. It returns the conflicting clause, or crefUndef.
+func (s *Solver) propagate() cref {
+	conflict := crefUndef
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p became true; inspect clauses watching ¬p
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var i int
+	Clauses:
+		for i = 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == cnf.True {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.clauses[w.c]
+			if c.deleted {
+				continue // lazily drop watchers of deleted clauses
+			}
+			s.stats.Propagations++
+			if s.propVisits != nil && c.orig >= 0 {
+				s.propVisits[c.orig]++
+			}
+			lits := c.lits
+			// Normalise so the false literal (¬p) is lits[1].
+			falseLit := p.Not()
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == cnf.True {
+				kept = append(kept, watcher{w.c, first})
+				continue
+			}
+			// Find a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watch(lits[1], watcher{w.c, first})
+					continue Clauses
+				}
+			}
+			// No replacement: clause is unit or conflicting.
+			kept = append(kept, watcher{w.c, first})
+			if s.value(first) == cnf.False {
+				conflict = w.c
+				s.qhead = len(s.trail)
+				// Copy the rest of the watch list and stop.
+				i++
+				for ; i < len(ws); i++ {
+					kept = append(kept, ws[i])
+				}
+				break
+			}
+			if !s.enqueue(first, w.c) {
+				// enqueue cannot fail here: first was checked not-False.
+				panic("sat: enqueue failed on unit literal")
+			}
+		}
+		s.watches[p] = kept
+	}
+	return conflict
+}

@@ -1,0 +1,233 @@
+package sat
+
+import (
+	"sort"
+
+	"hyqsat/internal/cnf"
+)
+
+// StepStatus is the outcome of a single solver iteration.
+type StepStatus int
+
+// Step outcomes.
+const (
+	StepContinue StepStatus = iota // search continues
+	StepSat                        // a model was found
+	StepUnsat                      // unsatisfiability was proven
+	StepBudget                     // a conflict/iteration budget was exhausted
+)
+
+// Step runs one iteration of the CDCL search: propagation, conflict
+// resolution (with learning, backjumping, restarts and DB reduction), and —
+// when no conflict arises — one decision. This is the unit the paper counts
+// ("one iteration includes three steps: decision, propagation, conflict
+// resolving") and the granularity at which the HyQSAT hybrid loop interleaves
+// quantum guidance.
+func (s *Solver) Step() StepStatus {
+	if s.status == Unsat {
+		return StepUnsat
+	}
+	if s.status == Sat {
+		return StepSat
+	}
+	if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+		return StepBudget
+	}
+	if s.opts.MaxIterations > 0 && s.stats.Iterations >= s.opts.MaxIterations {
+		return StepBudget
+	}
+	s.stats.Iterations++
+
+	for {
+		conflict := s.propagate()
+		if conflict == crefUndef {
+			break
+		}
+		if !s.handleConflict(conflict) {
+			return StepUnsat
+		}
+		if s.shouldRestart() {
+			s.restart()
+		}
+		if s.opts.Reduce != NoReduce && float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+		// A conflict concludes this iteration; the next decision happens in
+		// the next iteration, matching the paper's cycle.
+		return StepContinue
+	}
+
+	// Forced decisions (injected search state) take precedence.
+	for len(s.forced) > 0 {
+		l := s.forced[0]
+		s.forced = s.forced[1:]
+		if s.assigns[l.Var()] != cnf.Undef {
+			continue
+		}
+		s.stats.Decisions++
+		s.newDecisionLevel()
+		if !s.enqueue(l, crefUndef) {
+			panic("sat: forced decision on assigned variable")
+		}
+		return StepContinue
+	}
+
+	v := s.pickBranchVar()
+	if v == cnf.NoVar {
+		s.status = Sat
+		s.model = make([]bool, len(s.assigns))
+		for i, val := range s.assigns {
+			s.model[i] = val == cnf.True
+		}
+		return StepSat
+	}
+	s.stats.Decisions++
+	s.newDecisionLevel()
+	if !s.enqueue(cnf.MkLit(v, !s.polarity[v]), crefUndef) {
+		panic("sat: decision on assigned variable")
+	}
+	return StepContinue
+}
+
+// Solve runs the CDCL search to completion (or budget exhaustion) and
+// returns the result. Solve may be called again after budget exhaustion to
+// continue the search with a fresh budget window.
+func (s *Solver) Solve() Result {
+	for {
+		switch s.Step() {
+		case StepSat:
+			return Result{Status: Sat, Model: s.model, Stats: s.stats}
+		case StepUnsat:
+			return Result{Status: Unsat, Stats: s.stats}
+		case StepBudget:
+			return Result{Status: Unknown, Stats: s.stats}
+		}
+	}
+}
+
+// --- Restarts ---
+
+func (s *Solver) restartBudget() int64 {
+	switch s.opts.Restarts {
+	case LubyRestarts:
+		return luby(2, s.lubyIndex) * s.opts.RestartBase
+	case GlucoseRestarts:
+		return 50 // EMA check window; the EMA test drives the decision
+	default:
+		return 1 << 62
+	}
+}
+
+func (s *Solver) updateRestartEMA() {
+	var lbd float64
+	if len(s.learnts) > 0 {
+		lbd = float64(s.clauses[s.learnts[len(s.learnts)-1]].lbd)
+	} else {
+		lbd = 1
+	}
+	// Fast EMA over ~50 conflicts, slow over ~5000.
+	s.lbdEMAFast += (lbd - s.lbdEMAFast) / 50
+	s.lbdEMASlow += (lbd - s.lbdEMASlow) / 5000
+	s.emaConflicts++
+}
+
+func (s *Solver) shouldRestart() bool {
+	if s.decisionLevel() == s.rootLevel {
+		return false
+	}
+	switch s.opts.Restarts {
+	case LubyRestarts:
+		s.conflictsUntilRestart--
+		return s.conflictsUntilRestart <= 0
+	case GlucoseRestarts:
+		// Restart when recent conflicts produce markedly worse (higher-LBD)
+		// clauses than the long-run average.
+		return s.emaConflicts > 50 && s.lbdEMAFast > 1.25*s.lbdEMASlow
+	default:
+		return false
+	}
+}
+
+func (s *Solver) restart() {
+	s.stats.Restarts++
+	s.cancelUntil(s.rootLevel)
+	s.lubyIndex++
+	s.conflictsUntilRestart = s.restartBudget()
+	s.emaConflicts = 0
+	s.lbdEMAFast = s.lbdEMASlow
+}
+
+// luby returns base^(position in the Luby sequence), the classic restart
+// spacing 1,1,2,1,1,2,4,…
+func luby(y float64, x int64) int64 {
+	size, seq := int64(1), int64(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	out := int64(1)
+	for ; seq > 0; seq-- {
+		out *= int64(y)
+	}
+	return out
+}
+
+// --- Learnt clause DB reduction ---
+
+// reduceDB removes roughly half of the learnt clauses, keeping the most
+// valuable ones (by activity or LBD depending on the configured mode) and
+// never removing reason clauses of current assignments.
+func (s *Solver) reduceDB() {
+	live := s.learnts[:0]
+	var candidates []cref
+	for _, c := range s.learnts {
+		if s.clauses[c].deleted {
+			continue
+		}
+		candidates = append(candidates, c)
+	}
+	switch s.opts.Reduce {
+	case ReduceByLBD:
+		sort.Slice(candidates, func(i, j int) bool {
+			ci, cj := &s.clauses[candidates[i]], &s.clauses[candidates[j]]
+			if ci.lbd != cj.lbd {
+				return ci.lbd < cj.lbd
+			}
+			return ci.act > cj.act
+		})
+	default:
+		sort.Slice(candidates, func(i, j int) bool {
+			return s.clauses[candidates[i]].act > s.clauses[candidates[j]].act
+		})
+	}
+	keep := len(candidates) / 2
+	for i, c := range candidates {
+		cl := &s.clauses[c]
+		protected := s.isReason(c) || len(cl.lits) == 2 ||
+			(s.opts.Reduce == ReduceByLBD && cl.lbd <= 2)
+		if i < keep || protected {
+			live = append(live, c)
+			continue
+		}
+		cl.deleted = true
+		cl.lits = nil
+		s.stats.Removed++
+	}
+	s.learnts = live
+	s.maxLearnts *= 1.1
+}
+
+// isReason reports whether clause c is the antecedent of a current assignment.
+func (s *Solver) isReason(c cref) bool {
+	lits := s.clauses[c].lits
+	if len(lits) == 0 {
+		return false
+	}
+	v := lits[0].Var()
+	return s.assigns[v] != cnf.Undef && s.reason[v] == c
+}

@@ -1,0 +1,328 @@
+package sat
+
+import (
+	"math/rand"
+
+	"hyqsat/internal/cnf"
+)
+
+// cref indexes the solver's clause arena.
+type cref int32
+
+const crefUndef cref = -1
+
+type clause struct {
+	lits    []cnf.Lit
+	act     float64
+	lbd     int32
+	learnt  bool
+	deleted bool
+	orig    int // index of the originating input clause; -1 for learnt clauses
+}
+
+// watcher is one entry of a literal's watch list. blocker is a literal of the
+// clause that, when already true, lets propagation skip inspecting the clause.
+type watcher struct {
+	c       cref
+	blocker cnf.Lit
+}
+
+// Solver is a CDCL SAT solver over a fixed input formula. It is not safe for
+// concurrent use.
+type Solver struct {
+	opts    Options
+	rng     *rand.Rand
+	formula *cnf.Formula // the (cleaned) input, for model checking and hybrid hooks
+
+	clauses []clause // arena: problem clauses first, then learnt clauses
+	problem []cref   // refs of problem clauses
+	learnts []cref   // refs of live learnt clauses
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  []cnf.Value // by Var
+	level    []int32     // decision level of each assigned var
+	reason   []cref      // antecedent clause of each implied var
+	trail    []cnf.Lit
+	trailLim []int // trail index at each decision level
+	qhead    int   // propagation queue head (index into trail)
+
+	polarity []bool // saved/hinted phase per var
+	varAct   []float64
+	varInc   float64
+	order    *varHeap
+
+	claInc float64
+
+	// CHB state.
+	chbAlpha     float64
+	lastConflict []int64
+
+	// Conflict analysis scratch.
+	seen       []bool
+	analyzeBuf []cnf.Lit
+
+	// Paper §IV-A: per-input-clause activity, bumped when the clause is
+	// involved in resolving a conflict. Starts at 1.
+	clauseScore []float64
+
+	// Fig 5 instrumentation: per-input-clause visit counters.
+	propVisits []int64
+	confVisits []int64
+
+	stats Stats
+
+	// Restart bookkeeping.
+	conflictsUntilRestart int64
+	lubyIndex             int64
+	lbdEMAFast            float64
+	lbdEMASlow            float64
+	emaConflicts          int64
+
+	// Learnt DB limits.
+	maxLearnts    float64
+	learntsAdjust float64
+
+	status    Status
+	model     []bool
+	rootLevel int32
+	conflictC cref // last conflicting clause (for diagnostics)
+
+	// forced is a queue of literals to prefer as upcoming decisions
+	// (consumed front to back, skipping assigned variables). Set by the
+	// hybrid backend to inject a QA assignment as the next search state.
+	forced []cnf.Lit
+}
+
+// New builds a solver for formula f with the given options. The formula is
+// simplified (tautologies dropped, duplicate literals removed) on ingestion;
+// empty input clauses make the solver immediately Unsat.
+func New(f *cnf.Formula, opts Options) *Solver {
+	if opts.VarDecay == 0 {
+		opts.VarDecay = 0.95
+	}
+	if opts.ClauseDecay == 0 {
+		opts.ClauseDecay = 0.999
+	}
+	if opts.RestartBase == 0 {
+		opts.RestartBase = 100
+	}
+	n := f.NumVars
+	s := &Solver{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		formula:  f,
+		watches:  make([][]watcher, 2*n),
+		assigns:  make([]cnf.Value, n),
+		level:    make([]int32, n),
+		reason:   make([]cref, n),
+		polarity: make([]bool, n),
+		varAct:   make([]float64, n),
+		varInc:   1.0,
+		claInc:   1.0,
+
+		chbAlpha:     0.4,
+		lastConflict: make([]int64, n),
+
+		seen:        make([]bool, n),
+		clauseScore: make([]float64, len(f.Clauses)),
+
+		status: Unknown,
+	}
+	for i := range s.reason {
+		s.reason[i] = crefUndef
+	}
+	for i := range s.polarity {
+		s.polarity[i] = opts.InitialPhase
+	}
+	for i := range s.clauseScore {
+		s.clauseScore[i] = 1.0
+	}
+	if opts.TrackVisits {
+		s.propVisits = make([]int64, len(f.Clauses))
+		s.confVisits = make([]int64, len(f.Clauses))
+	}
+	s.order = newVarHeap(s.varAct)
+	for v := cnf.Var(0); int(v) < n; v++ {
+		s.order.push(v)
+	}
+
+	for i, c := range f.Clauses {
+		nc := c.Normalized()
+		if nc.IsTautology() {
+			continue
+		}
+		switch len(nc) {
+		case 0:
+			s.status = Unsat
+		case 1:
+			if !s.enqueue(nc[0], crefUndef) {
+				s.status = Unsat
+			}
+		default:
+			s.attachClause(nc, false, i)
+		}
+	}
+	if s.status == Unknown {
+		if conflict := s.propagate(); conflict != crefUndef {
+			s.status = Unsat
+		}
+	}
+	s.maxLearnts = float64(len(s.problem))/3.0 + 100
+	s.learntsAdjust = 100
+	s.conflictsUntilRestart = s.restartBudget()
+	return s
+}
+
+// NumVars returns the number of variables of the input formula.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// Stats returns a copy of the current solver counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Status returns the current solve status.
+func (s *Solver) Status() Status { return s.status }
+
+// Model returns the satisfying assignment found by the last Sat outcome,
+// or nil. The returned slice is owned by the solver.
+func (s *Solver) Model() []bool { return s.model }
+
+func (s *Solver) attachClause(lits cnf.Clause, learnt bool, orig int) cref {
+	c := cref(len(s.clauses))
+	s.clauses = append(s.clauses, clause{
+		lits:   append(cnf.Clause(nil), lits...),
+		learnt: learnt,
+		orig:   orig,
+	})
+	if learnt {
+		s.learnts = append(s.learnts, c)
+		s.clauses[c].act = s.claInc
+	} else {
+		s.problem = append(s.problem, c)
+	}
+	s.watch(lits[0], watcher{c, lits[1]})
+	s.watch(lits[1], watcher{c, lits[0]})
+	return c
+}
+
+func (s *Solver) watch(l cnf.Lit, w watcher) {
+	// A watch on literal l means: the clause watches l and must be inspected
+	// when ¬l is assigned; we index watch lists by the falsifying literal.
+	s.watches[l.Not()] = append(s.watches[l.Not()], w)
+}
+
+// value returns the current truth value of literal l.
+func (s *Solver) value(l cnf.Lit) cnf.Value {
+	v := s.assigns[l.Var()]
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// decisionLevel is the current depth of the decision stack.
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// enqueue assigns literal l with antecedent from. It returns false when l is
+// already false (a conflict at the caller's level).
+func (s *Solver) enqueue(l cnf.Lit, from cref) bool {
+	switch s.value(l) {
+	case cnf.True:
+		return true
+	case cnf.False:
+		return false
+	}
+	v := l.Var()
+	if l.IsNeg() {
+		s.assigns[v] = cnf.False
+	} else {
+		s.assigns[v] = cnf.True
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+	return true
+}
+
+// newDecisionLevel pushes a decision level boundary.
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if s.opts.PhaseSaving {
+			s.polarity[v] = !l.IsNeg()
+		}
+		s.assigns[v] = cnf.Undef
+		s.reason[v] = crefUndef
+		if !s.order.contains(v) {
+			s.order.push(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar pops the most active unassigned variable (occasionally a
+// random one, per Options.RandomFreq).
+func (s *Solver) pickBranchVar() cnf.Var {
+	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq {
+		// Random decision: sample an unassigned variable.
+		for tries := 0; tries < 16; tries++ {
+			v := cnf.Var(s.rng.Intn(len(s.assigns)))
+			if s.assigns[v] == cnf.Undef {
+				return v
+			}
+		}
+	}
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == cnf.Undef {
+			return v
+		}
+	}
+	return cnf.NoVar
+}
+
+// varBump increases the activity of v and restores heap order.
+func (s *Solver) varBump(v cnf.Var, amount float64) {
+	s.varAct[v] += amount
+	if s.varAct[v] > 1e100 {
+		for i := range s.varAct {
+			s.varAct[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecayActivity() {
+	s.varInc /= s.opts.VarDecay
+}
+
+func (s *Solver) claBump(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, ref := range s.learnts {
+			s.clauses[ref].act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecayActivity() {
+	s.claInc /= s.opts.ClauseDecay
+}
