@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification gate: build, vet, race-enabled tests, and a short
+# fuzzing pass over the three fuzz targets. Run from the repo root.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -run='^$' -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/cnf
+go test -run='^$' -fuzz=FuzzEncodeClause -fuzztime=10s ./internal/qubo
+go test -run='^$' -fuzz=FuzzProofCheck -fuzztime=10s ./internal/verify

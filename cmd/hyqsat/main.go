@@ -3,46 +3,107 @@
 //
 // Usage:
 //
-//	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N] [-stats] file.cnf
+//	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N]
+//	       [-stats] [-proof file.drat] [-verify] file.cnf
 //
 // With no file, the formula is read from stdin. Exit status follows the SAT
 // competition convention: 10 satisfiable, 20 unsatisfiable, 1 error.
+//
+// -proof streams a DRAT proof of the solver's clause derivations to a file;
+// for an UNSAT run the file certifies the verdict (checkable by any DRAT
+// checker, including internal/verify). For -solver=hyqsat the proof premise
+// is the 3-CNF form of the input (equisatisfiable; printed as a comment).
+//
+// -verify self-certifies the verdict in-process before reporting it: SAT
+// models are checked against the formula and UNSAT proofs replayed through
+// the RUP checker. A verdict that fails certification exits 1.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/portfolio"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/verify"
 )
 
 func main() {
-	solver := flag.String("solver", "hyqsat", "solver: hyqsat, minisat, kissat, or portfolio (race all three)")
-	mode := flag.String("mode", "hw", "QA mode for hyqsat: sim (noise-free) or hw (emulated D-Wave 2000Q)")
-	seed := flag.Int64("seed", 1, "random seed")
-	stats := flag.Bool("stats", false, "print solver statistics")
-	model := flag.Bool("model", true, "print the satisfying assignment")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+// run is main with its environment injected, so the CLI is testable
+// end to end: flag parsing, solving, proof emission, and exit codes.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hyqsat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	solver := fs.String("solver", "hyqsat", "solver: hyqsat, minisat, kissat, or portfolio (race all three)")
+	mode := fs.String("mode", "hw", "QA mode for hyqsat: sim (noise-free) or hw (emulated D-Wave 2000Q)")
+	seed := fs.Int64("seed", 1, "random seed")
+	stats := fs.Bool("stats", false, "print solver statistics")
+	model := fs.Bool("model", true, "print the satisfying assignment")
+	proofPath := fs.String("proof", "", "write a DRAT proof to this file")
+	verifyFlag := fs.Bool("verify", false, "self-certify the verdict before reporting it")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "hyqsat:", err)
+		return 1
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hyqsat:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	formula, err := cnf.ParseDIMACS(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hyqsat:", err)
-		os.Exit(1)
+		return fail(err)
+	}
+
+	// Proof plumbing shared by the single-solver modes. The recorder backs
+	// -verify (in-process RUP replay); the text writer backs -proof.
+	var rec *verify.Recorder
+	if *verifyFlag {
+		rec = verify.NewRecorder()
+	}
+	var tw *verify.TextWriter
+	if *proofPath != "" {
+		if *solver == "portfolio" {
+			return fail(fmt.Errorf("-proof cannot be combined with -solver=portfolio (the winner is nondeterministic); use -verify"))
+		}
+		pf, err := os.Create(*proofPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer pf.Close()
+		tw = verify.NewTextWriter(pf)
+		defer tw.Flush()
+	}
+	hook := verify.Tee(proofSinkOrNil(tw), recorderOrNil(rec))
+
+	// certify replays the verdict through internal/verify against the
+	// premise the proof was logged for.
+	certify := func(premise *cnf.Formula, status sat.Status, m []bool) error {
+		switch status {
+		case sat.Sat:
+			return verify.CheckModel(premise, m)
+		case sat.Unsat:
+			return verify.CheckUnsatProof(premise, rec.Proof())
+		default:
+			return nil
+		}
 	}
 
 	var status sat.Status
@@ -54,10 +115,19 @@ func main() {
 			opts = sat.KissatOptions()
 		}
 		opts.Seed = *seed
-		r := sat.New(formula, opts).Solve()
+		s := sat.New(formula, opts)
+		if hook != nil {
+			s.SetProofWriter(hook)
+		}
+		r := s.Solve()
 		status, assignment = r.Status, r.Model
+		if *verifyFlag {
+			if err := certify(formula, status, assignment); err != nil {
+				return fail(fmt.Errorf("verdict failed certification: %w", err))
+			}
+		}
 		if *stats {
-			fmt.Printf("c iterations=%d decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n",
+			fmt.Fprintf(stdout, "c iterations=%d decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n",
 				r.Stats.Iterations, r.Stats.Decisions, r.Stats.Conflicts,
 				r.Stats.Propagations, r.Stats.Restarts, r.Stats.Learned)
 		}
@@ -67,52 +137,85 @@ func main() {
 			opts = hyqsat.SimulatorOptions()
 		}
 		opts.Seed = *seed
-		r := hyqsat.New(formula, opts).Solve()
+		opts.Proof = hook
+		h := hyqsat.New(formula, opts)
+		r := h.Solve()
 		status, assignment = r.Status, r.Model
+		if *verifyFlag {
+			// The hybrid solves the 3-CNF form; proofs certify against it.
+			if err := certify(h.ThreeCNF(), status, assignment); err != nil {
+				return fail(fmt.Errorf("verdict failed certification: %w", err))
+			}
+		}
+		if *proofPath != "" {
+			fmt.Fprintln(stdout, "c proof premise is the 3-CNF form of the input")
+		}
 		if *stats {
 			st := r.Stats
-			fmt.Printf("c iterations=%d warmup=%d qacalls=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
+			fmt.Fprintf(stdout, "c iterations=%d warmup=%d qacalls=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
 				st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.EmbeddedClauses,
 				st.Strategy1Hits, st.Strategy2Hits, st.Strategy3Hits, st.Strategy4Hits)
-			fmt.Printf("c frontend=%v qadevice=%v backend=%v cdcl=%v total=%v\n",
+			fmt.Fprintf(stdout, "c frontend=%v qadevice=%v backend=%v cdcl=%v total=%v\n",
 				st.Frontend, st.QADevice, st.Backend, st.CDCL, st.Total())
 		}
 	case "portfolio":
-		out, err := portfolio.Solve(context.Background(), formula, portfolio.DefaultEntrants(*seed))
+		race := portfolio.Solve
+		if *verifyFlag {
+			race = portfolio.SolveCertified
+		}
+		out, err := race(context.Background(), formula, portfolio.DefaultEntrants(*seed))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hyqsat:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		status, assignment = out.Result.Status, out.Result.Model
 		if *stats {
-			fmt.Printf("c winner=%s elapsed=%v iterations=%d\n",
+			fmt.Fprintf(stdout, "c winner=%s elapsed=%v iterations=%d\n",
 				out.Winner, out.Elapsed, out.Result.Stats.Iterations)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "hyqsat: unknown solver %q\n", *solver)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	if *verifyFlag && status != sat.Unknown {
+		fmt.Fprintln(stdout, "c verdict certified")
 	}
 
 	switch status {
 	case sat.Sat:
-		fmt.Println("s SATISFIABLE")
+		fmt.Fprintln(stdout, "s SATISFIABLE")
 		if *model {
-			fmt.Print("v")
+			fmt.Fprint(stdout, "v")
 			for i := 0; i < formula.NumVars && i < len(assignment); i++ {
 				l := i + 1
 				if !assignment[i] {
 					l = -l
 				}
-				fmt.Printf(" %d", l)
+				fmt.Fprintf(stdout, " %d", l)
 			}
-			fmt.Println(" 0")
+			fmt.Fprintln(stdout, " 0")
 		}
-		os.Exit(10)
+		return 10
 	case sat.Unsat:
-		fmt.Println("s UNSATISFIABLE")
-		os.Exit(20)
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		return 20
 	default:
-		fmt.Println("s UNKNOWN")
-		os.Exit(0)
+		fmt.Fprintln(stdout, "s UNKNOWN")
+		return 0
 	}
+}
+
+// proofSinkOrNil / recorderOrNil avoid the non-nil interface around a nil
+// pointer when a proof sink is absent.
+func proofSinkOrNil(tw *verify.TextWriter) sat.ProofWriter {
+	if tw == nil {
+		return nil
+	}
+	return tw
+}
+
+func recorderOrNil(r *verify.Recorder) sat.ProofWriter {
+	if r == nil {
+		return nil
+	}
+	return r
 }

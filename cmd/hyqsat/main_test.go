@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/verify"
+)
+
+const satCNF = "p cnf 3 2\n1 2 3 0\n-1 2 0\n"
+
+// xorSquare is the smallest UNSAT 3-CNF with no unit clauses; being 3-CNF
+// already, the hybrid solver's proof premise equals the input formula.
+const unsatCNF = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"
+
+// runCLI drives the injected main with stdin input and captures the streams.
+func runCLI(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestCLIExitCodes(t *testing.T) {
+	for _, solver := range []string{"minisat", "kissat", "hyqsat", "portfolio"} {
+		args := []string{"-solver", solver, "-seed", "2"}
+		if solver == "hyqsat" {
+			args = append(args, "-mode", "sim")
+		}
+		code, out, errOut := runCLI(t, args, satCNF)
+		if code != 10 || !strings.Contains(out, "s SATISFIABLE") {
+			t.Fatalf("%s SAT: code=%d out=%q err=%q", solver, code, out, errOut)
+		}
+		if !strings.Contains(out, "\nv ") && !strings.HasPrefix(out, "v ") {
+			t.Fatalf("%s SAT: missing v-line: %q", solver, out)
+		}
+		code, out, errOut = runCLI(t, args, unsatCNF)
+		if code != 20 || !strings.Contains(out, "s UNSATISFIABLE") {
+			t.Fatalf("%s UNSAT: code=%d out=%q err=%q", solver, code, out, errOut)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"unknown solver", []string{"-solver", "cryptominisat"}, satCNF},
+		{"unknown flag", []string{"-frobnicate"}, satCNF},
+		{"missing file", []string{"/nonexistent/input.cnf"}, ""},
+		{"malformed input", nil, "p cnf 2 9\n1 2 0\n"},
+		{"empty input", nil, ""},
+		{"proof with portfolio", []string{"-solver", "portfolio", "-proof", filepath.Join(t.TempDir(), "p.drat")}, satCNF},
+	}
+	for _, tc := range cases {
+		if code, out, errOut := runCLI(t, tc.args, tc.stdin); code != 1 {
+			t.Fatalf("%s: code=%d out=%q err=%q", tc.name, code, out, errOut)
+		} else if errOut == "" {
+			t.Fatalf("%s: exit 1 with empty stderr", tc.name)
+		}
+	}
+}
+
+func TestCLIFileInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.cnf")
+	if err := os.WriteFile(path, []byte(unsatCNF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t, []string{"-solver", "minisat", path}, "ignored stdin")
+	if code != 20 {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+func TestCLIProofFlagEmitsCheckableDRAT(t *testing.T) {
+	for _, solver := range []string{"minisat", "kissat", "hyqsat"} {
+		path := filepath.Join(t.TempDir(), solver+".drat")
+		code, _, errOut := runCLI(t,
+			[]string{"-solver", solver, "-mode", "sim", "-proof", path}, unsatCNF)
+		if code != 20 {
+			t.Fatalf("%s: code=%d err=%q", solver, code, errOut)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: proof file: %v", solver, err)
+		}
+		proof, err := verify.ParseDRAT(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: proof does not parse: %v\n%s", solver, err, data)
+		}
+		premise, err := cnf.ParseDIMACSString(unsatCNF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckUnsatProof(premise, proof); err != nil {
+			t.Fatalf("%s: emitted proof rejected: %v\n%s", solver, err, data)
+		}
+	}
+}
+
+func TestCLIVerifyFlag(t *testing.T) {
+	for _, solver := range []string{"minisat", "kissat", "hyqsat", "portfolio"} {
+		args := []string{"-solver", solver, "-mode", "sim", "-verify", "-seed", "3"}
+		code, out, errOut := runCLI(t, args, satCNF)
+		if code != 10 {
+			t.Fatalf("%s -verify SAT: code=%d err=%q", solver, code, errOut)
+		}
+		if solver != "portfolio" && !strings.Contains(out, "c verdict certified") {
+			t.Fatalf("%s -verify SAT: missing certification line: %q", solver, out)
+		}
+		code, _, errOut = runCLI(t, args, unsatCNF)
+		if code != 20 {
+			t.Fatalf("%s -verify UNSAT: code=%d err=%q", solver, code, errOut)
+		}
+	}
+}
+
+func TestCLIVerifyAndProofCombined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "combined.drat")
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "minisat", "-verify", "-proof", path}, unsatCNF)
+	if code != 20 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("proof file missing or empty: %v", err)
+	}
+}

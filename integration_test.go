@@ -6,6 +6,7 @@
 package hyqsat_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,8 +17,10 @@ import (
 	"hyqsat/internal/gen"
 	"hyqsat/internal/gnb"
 	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/portfolio"
 	"hyqsat/internal/qubo"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/verify"
 )
 
 // cheapFamilies lists the families fast enough for per-commit integration
@@ -40,10 +43,19 @@ func TestAllSolversAgreeAcrossFamilies(t *testing.T) {
 			inst := fam.Make(0)
 			f := inst.Formula
 
-			mini := sat.New(f.Copy(), sat.MiniSATOptions()).Solve()
-			kis := sat.New(f.Copy(), sat.KissatOptions()).Solve()
+			// Every solve logs a proof so that UNSAT verdicts carry a
+			// DRAT/RUP certificate checked below; the hybrid certifies
+			// itself against its 3-CNF premise.
+			miniRec, kisRec := verify.NewRecorder(), verify.NewRecorder()
+			miniSolver := sat.New(f.Copy(), sat.MiniSATOptions())
+			miniSolver.SetProofWriter(miniRec)
+			mini := miniSolver.Solve()
+			kisSolver := sat.New(f.Copy(), sat.KissatOptions())
+			kisSolver.SetProofWriter(kisRec)
+			kis := kisSolver.Solve()
 			o := hyqsat.SimulatorOptions()
 			o.Seed = 3
+			o.SelfCertify = true
 			hy := hyqsat.New(f.Copy(), o).Solve()
 
 			if mini.Status != kis.Status || mini.Status != hy.Status {
@@ -53,7 +65,13 @@ func TestAllSolversAgreeAcrossFamilies(t *testing.T) {
 			if inst.Expected != sat.Unknown && mini.Status != inst.Expected {
 				t.Fatalf("expected %v, got %v", inst.Expected, mini.Status)
 			}
-			if mini.Status == sat.Sat {
+			if hy.Status != sat.Unknown {
+				if hy.CertErr != nil || !hy.Certified {
+					t.Fatalf("hyqsat verdict not self-certified: %v", hy.CertErr)
+				}
+			}
+			switch mini.Status {
+			case sat.Sat:
 				for name, model := range map[string][]bool{
 					"minisat": mini.Model, "kissat": kis.Model,
 				} {
@@ -64,6 +82,25 @@ func TestAllSolversAgreeAcrossFamilies(t *testing.T) {
 				f3, _ := cnf.To3CNF(f)
 				if !cnf.FromBools(hy.Model).Satisfies(f3) {
 					t.Fatal("hyqsat model invalid")
+				}
+			case sat.Unsat:
+				for name, rec := range map[string]*verify.Recorder{
+					"minisat": miniRec, "kissat": kisRec,
+				} {
+					if err := verify.CheckUnsatProof(f, rec.Proof()); err != nil {
+						t.Fatalf("%s UNSAT proof rejected: %v", name, err)
+					}
+				}
+				// Certified portfolio race over the same instance: the
+				// winner's verdict must match and carry certification.
+				out, err := portfolio.SolveCertified(context.Background(),
+					f.Copy(), portfolio.DefaultEntrants(7))
+				if err != nil {
+					t.Fatalf("certified portfolio: %v", err)
+				}
+				if out.Result.Status != sat.Unsat || !out.Certified {
+					t.Fatalf("certified portfolio: status=%v certified=%v",
+						out.Result.Status, out.Certified)
 				}
 			}
 		})

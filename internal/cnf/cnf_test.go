@@ -255,10 +255,62 @@ func TestParseDIMACSErrors(t *testing.T) {
 		"p dnf 2 2\n",
 		"p cnf 2\n",
 		"1 2 zzz 0\n",
+		"",                                  // empty input
+		"c only comments\nc nothing else\n", // still empty
+		"p cnf 2 2\n1 2 0\n",                // header declares 2 clauses, 1 present
+		"p cnf 2 0\n1 2 0\n",                // header declares 0 clauses, 1 present
+		"p cnf 2 1\n1 2 0\n-1 2 0\n",        // undeclared extra clause
+		"p cnf 2 1\n1 2\n",                  // trailing clause missing its 0
+		"1 0 2\n",                           // ditto, headerless
+		"p cnf 2 1\n1 -0 0\n",               // "-0" is neither terminator nor literal
+		"p cnf 2 1\n1 2 0\np cnf 2 1\n",     // duplicate problem line
+		"p cnf -3 1\n1 0\n",                 // negative variable count
+		"p cnf 2 -1\n1 0\n",                 // negative clause count
+		"p cnf 999999999999 0\n",            // variable count overflow
+		"p cnf 2 1\n999999999 0\n",          // literal out of range
+		"p cnf 2 1\n-999999999 0\n",         // negated literal out of range
 	} {
 		if _, err := ParseDIMACSString(src); err == nil {
 			t.Fatalf("expected error for %q", src)
 		}
+	}
+}
+
+func TestParseDIMACSCommentMidClause(t *testing.T) {
+	// A comment line between the literals of a single clause must not split
+	// or corrupt the clause.
+	src := "p cnf 3 1\n1 2\nc interrupting comment\n3 0\n"
+	f, err := ParseDIMACSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses[0]) != 3 {
+		t.Fatalf("mid-clause comment mis-parsed: %d clauses, first len %d",
+			f.NumClauses(), len(f.Clauses[0]))
+	}
+}
+
+func TestParseDIMACSEmptyFormulaWithHeader(t *testing.T) {
+	// "p cnf 0 0" is the legitimate empty formula; only headerless empty
+	// input is rejected.
+	f, err := ParseDIMACSString("p cnf 0 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 0 || f.NumClauses() != 0 {
+		t.Fatalf("empty formula parsed as %d vars %d clauses", f.NumVars, f.NumClauses())
+	}
+}
+
+func TestParseDIMACSEmptyClause(t *testing.T) {
+	// A bare 0 is an explicit empty clause (trivially UNSAT), not a syntax
+	// error.
+	f, err := ParseDIMACSString("p cnf 1 2\n1 0\n0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 || len(f.Clauses[1]) != 0 {
+		t.Fatalf("empty clause mis-parsed: %d clauses", f.NumClauses())
 	}
 }
 

@@ -8,16 +8,28 @@ import (
 	"strings"
 )
 
+// maxDimacsVar bounds the accepted variable range. Literals are stored as
+// int32 pairs (2v and 2v+1), so the cap both rejects overflow and keeps
+// adversarial inputs (fuzzing) from requesting absurd allocations downstream.
+const maxDimacsVar = 1 << 28
+
 // ParseDIMACS reads a CNF formula in DIMACS format. Comment lines ("c ...")
-// are ignored; the problem line ("p cnf <vars> <clauses>") is optional but,
-// when present, fixes the variable count (clauses may still grow it). Clauses
-// are zero-terminated and may span multiple lines.
+// are ignored, including between the literals of a clause; the problem line
+// ("p cnf <vars> <clauses>") fixes the variable count (clauses may still
+// grow it). Clauses are zero-terminated and may span multiple lines.
+//
+// The parser is strict where tolerance would mis-parse: it rejects empty
+// input (no problem line and no clauses), a duplicate problem line, a
+// declared clause count that disagrees with the clauses present, a final
+// clause missing its 0 terminator, the ambiguous literal "-0", and variables
+// beyond an overflow cap. The SATLIB "%" trailer is accepted.
 func ParseDIMACS(r io.Reader) (*Formula, error) {
 	f := &Formula{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var cur Clause
 	declaredClauses := -1
+	sawHeader := false
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -26,17 +38,21 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "p") {
+			if sawHeader {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineNo)
+			}
+			sawHeader = true
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[1] != "cnf" {
 				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
 			}
 			nv, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", lineNo, err)
+			if err != nil || nv < 0 || nv > maxDimacsVar {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", lineNo, fields[2])
 			}
 			nc, err := strconv.Atoi(fields[3])
-			if err != nil {
-				return nil, fmt.Errorf("cnf: line %d: bad clause count: %v", lineNo, err)
+			if err != nil || nc < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count %q", lineNo, fields[3])
 			}
 			f.NumVars = nv
 			declaredClauses = nc
@@ -52,9 +68,17 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
 			}
 			if d == 0 {
+				if tok != "0" {
+					// "-0" (or "+0", "00", ...) is not a terminator and not
+					// a literal; treating it as either would mis-parse.
+					return nil, fmt.Errorf("cnf: line %d: ambiguous literal %q", lineNo, tok)
+				}
 				f.AddClause(cur)
 				cur = nil
 				continue
+			}
+			if d > maxDimacsVar || d < -maxDimacsVar {
+				return nil, fmt.Errorf("cnf: line %d: literal %d out of range", lineNo, d)
 			}
 			cur = append(cur, LitFromDimacs(d))
 		}
@@ -63,12 +87,14 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 		return nil, fmt.Errorf("cnf: read: %w", err)
 	}
 	if len(cur) > 0 {
-		f.AddClause(cur)
+		return nil, fmt.Errorf("cnf: last clause is missing its 0 terminator")
+	}
+	if !sawHeader && len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("cnf: empty input: no problem line and no clauses")
 	}
 	if declaredClauses >= 0 && declaredClauses != len(f.Clauses) {
-		// Tolerated: many published instances have wrong headers. The parsed
-		// clause set wins.
-		_ = declaredClauses
+		return nil, fmt.Errorf("cnf: header declares %d clauses but %d present",
+			declaredClauses, len(f.Clauses))
 	}
 	return f, nil
 }

@@ -1,0 +1,45 @@
+package cnf
+
+import "testing"
+
+// FuzzParseDIMACS asserts the two parser contracts that matter to every
+// downstream consumer: malformed input produces an error (never a panic or a
+// silently mis-parsed formula), and any accepted input round-trips through
+// WriteDIMACS/ParseDIMACS unchanged.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 2 -3 0\n-1 3 0\n")
+	f.Add("c comment\np cnf 2 1\n1 2\nc mid-clause\n0\n")
+	f.Add("p cnf 2 1\n1 2 0\n%\n0\n")
+	f.Add("p cnf 0 0\n")
+	f.Add("p cnf 1 2\n1 0\n0\n")
+	f.Add("1 -2 0 2 0")
+	f.Add("p cnf 2 2\n1 2 0\n")
+	f.Add("-0 0")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ParseDIMACSString(data)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil formula without error")
+		}
+		h, err := ParseDIMACSString(DIMACSString(g))
+		if err != nil {
+			t.Fatalf("accepted input failed to re-parse: %v", err)
+		}
+		if h.NumVars != g.NumVars || h.NumClauses() != g.NumClauses() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumVars, g.NumClauses(), h.NumVars, h.NumClauses())
+		}
+		for i := range g.Clauses {
+			if len(g.Clauses[i]) != len(h.Clauses[i]) {
+				t.Fatalf("clause %d length changed", i)
+			}
+			for j := range g.Clauses[i] {
+				if g.Clauses[i][j] != h.Clauses[i][j] {
+					t.Fatalf("clause %d literal %d changed", i, j)
+				}
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"hyqsat/internal/gnb"
 	"hyqsat/internal/qubo"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/verify"
 )
 
 // StrategyMask selects which backend feedback strategies are active, for the
@@ -75,6 +76,16 @@ type Options struct {
 	ChainStrengthMult float64
 	// Seed drives all stochastic choices.
 	Seed int64
+
+	// Proof, when non-nil, receives the CDCL core's clause trace in DRAT
+	// form. The proof's premise is the 3-CNF formula actually solved
+	// (ThreeCNF), which is equisatisfiable with the input.
+	Proof sat.ProofWriter
+	// SelfCertify makes Solve check its own answer before returning it:
+	// Sat models are re-evaluated against the 3-CNF formula and Unsat
+	// verdicts are certified by recording and RUP-checking a DRAT proof.
+	// The outcome lands in Result.Certified / Result.CertErr.
+	SelfCertify bool
 
 	// set by New to note which defaults were applied
 	defaulted bool
@@ -164,11 +175,16 @@ func (s Stats) Total() time.Duration {
 	return s.Frontend + s.Backend + s.CDCL + s.QADevice
 }
 
-// Result is the outcome of a hybrid solve.
+// Result is the outcome of a hybrid solve. When Options.SelfCertify is set,
+// Certified reports whether the conclusive verdict passed independent
+// verification (model check for Sat, RUP proof check for Unsat) and CertErr
+// carries the failure otherwise. Without SelfCertify both stay zero.
 type Result struct {
-	Status sat.Status
-	Model  []bool
-	Stats  Stats
+	Status    sat.Status
+	Model     []bool
+	Stats     Stats
+	Certified bool
+	CertErr   error
 }
 
 // Solver is the HyQSAT hybrid solver for one formula.
@@ -186,6 +202,9 @@ type Solver struct {
 	// appeared in a (near-)satisfiable sample — the "maintained assignment"
 	// of feedback strategy 2, reapplied as phases on every call.
 	belief cnf.Assignment
+
+	// recorder captures the CDCL proof trace when SelfCertify is on.
+	recorder *verify.Recorder
 }
 
 // New builds a hybrid solver. Formulas with clauses longer than three
@@ -196,7 +215,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	f3, origin := cnf.To3CNF(f)
 	cdclOpts := opts.CDCL
 	cdclOpts.Seed = opts.Seed ^ 0x5a5a5a
-	return &Solver{
+	s := &Solver{
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		formula: f3,
@@ -206,6 +225,22 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		sampler: anneal.NewSampler(opts.Schedule, opts.Noise, opts.Seed^0x3c3c3c),
 		belief:  cnf.NewAssignment(f3.NumVars),
 	}
+	if opts.SelfCertify {
+		s.recorder = verify.NewRecorder()
+	}
+	if w := verify.Tee(opts.Proof, proofWriterOrNil(s.recorder)); w != nil {
+		s.sat.SetProofWriter(w)
+	}
+	return s
+}
+
+// proofWriterOrNil avoids the classic non-nil-interface-around-nil-pointer
+// trap when the recorder is absent.
+func proofWriterOrNil(r *verify.Recorder) sat.ProofWriter {
+	if r == nil {
+		return nil
+	}
+	return r
 }
 
 // WarmupBudget returns the number of hybrid iterations: √K with K the
@@ -262,7 +297,40 @@ func (s *Solver) Solve() Result {
 
 func (s *Solver) finish(status sat.Status, model []bool) Result {
 	st := s.Stats()
-	return Result{Status: status, Model: model, Stats: st}
+	r := Result{Status: status, Model: model, Stats: st}
+	if s.opts.SelfCertify {
+		switch status {
+		case sat.Sat:
+			r.CertErr = verify.CheckModel(s.formula, model)
+		case sat.Unsat:
+			r.CertErr = verify.CheckUnsatProof(s.formula, s.recorder.Proof())
+		default:
+			return r // nothing conclusive to certify
+		}
+		r.Certified = r.CertErr == nil
+	}
+	return r
+}
+
+// SetProofWriter attaches an additional proof writer to the CDCL core,
+// composed with any writer configured via Options (Proof / SelfCertify).
+// Attach before Solve; the premise of the trace is ThreeCNF().
+func (s *Solver) SetProofWriter(w sat.ProofWriter) {
+	s.sat.SetProofWriter(verify.Tee(w, s.opts.Proof, proofWriterOrNil(s.recorder)))
+}
+
+// ThreeCNF returns the 3-CNF form the hybrid solver actually works on — the
+// premise of any recorded proof. Its variables extend the input formula's
+// (auxiliaries are appended), so models of it restrict to input models.
+func (s *Solver) ThreeCNF() *cnf.Formula { return s.formula }
+
+// Certificate returns the unsatisfiability certificate recorded so far
+// (premise + proof), or nil when SelfCertify was off.
+func (s *Solver) Certificate() *verify.Certificate {
+	if s.recorder == nil {
+		return nil
+	}
+	return &verify.Certificate{Premise: s.formula, Proof: s.recorder.Proof()}
 }
 
 // hybridIteration runs one warm-up iteration: frontend → QA → backend →

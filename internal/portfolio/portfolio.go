@@ -7,7 +7,9 @@
 // the first Sat or Unsat result cancels the others (they are abandoned, not
 // interrupted mid-step: solvers poll their conflict budget in bounded
 // windows). Results are always cross-checked: a Sat entrant must produce a
-// verified model.
+// verified model, and in certifying mode (SolveCertified) an Unsat entrant
+// must additionally produce a DRAT proof that the internal/verify RUP
+// checker accepts before its verdict is allowed to win the race.
 package portfolio
 
 import (
@@ -18,55 +20,93 @@ import (
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/verify"
 )
 
 // Entrant is one competitor: a name and a function solving the formula
 // within the window budget, returning Unknown when the budget expires.
+// SolveCertified, when non-nil, is the proof-logging variant used by the
+// certifying race: alongside the result it returns the certificate (premise
+// formula + recorded DRAT proof) backing an Unsat verdict.
 type Entrant struct {
-	Name  string
-	Solve func(f *cnf.Formula, budgetConflicts int64) sat.Result
+	Name           string
+	Solve          func(f *cnf.Formula, budgetConflicts int64) sat.Result
+	SolveCertified func(f *cnf.Formula, budgetConflicts int64) (sat.Result, *verify.Certificate)
 }
 
 // MiniSATEntrant is the VSIDS/Luby baseline.
 func MiniSATEntrant(seed int64) Entrant {
-	return Entrant{
-		Name: fmt.Sprintf("minisat/s%d", seed),
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
-			o := sat.MiniSATOptions()
-			o.Seed = seed
-			o.MaxConflicts = budget
-			return sat.New(f, o).Solve()
-		},
+	mk := func(f *cnf.Formula, budget int64) (*sat.Solver, *cnf.Formula) {
+		o := sat.MiniSATOptions()
+		o.Seed = seed
+		o.MaxConflicts = budget
+		return sat.New(f, o), f
 	}
+	return cdclEntrant(fmt.Sprintf("minisat/s%d", seed), mk)
 }
 
 // KissatEntrant is the CHB/LBD baseline.
 func KissatEntrant(seed int64) Entrant {
+	mk := func(f *cnf.Formula, budget int64) (*sat.Solver, *cnf.Formula) {
+		o := sat.KissatOptions()
+		o.Seed = seed
+		o.MaxConflicts = budget
+		return sat.New(f, o), f
+	}
+	return cdclEntrant(fmt.Sprintf("kissat/s%d", seed), mk)
+}
+
+// cdclEntrant wraps a classical solver constructor into both race modes.
+func cdclEntrant(name string, mk func(*cnf.Formula, int64) (*sat.Solver, *cnf.Formula)) Entrant {
 	return Entrant{
-		Name: fmt.Sprintf("kissat/s%d", seed),
+		Name: name,
 		Solve: func(f *cnf.Formula, budget int64) sat.Result {
-			o := sat.KissatOptions()
-			o.Seed = seed
-			o.MaxConflicts = budget
-			return sat.New(f, o).Solve()
+			s, _ := mk(f, budget)
+			return s.Solve()
+		},
+		SolveCertified: func(f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
+			s, premise := mk(f, budget)
+			rec := verify.NewRecorder()
+			s.SetProofWriter(rec)
+			r := s.Solve()
+			return r, &verify.Certificate{Premise: premise, Proof: rec.Proof()}
 		},
 	}
 }
 
-// HyQSATEntrant is the hybrid solver on the emulated annealer.
+// HyQSATEntrant is the hybrid solver on the emulated annealer. Its
+// certificate premise is the 3-CNF form the hybrid actually solves,
+// equisatisfiable with the input formula.
 func HyQSATEntrant(seed int64) Entrant {
+	run := func(f *cnf.Formula, budget int64, certify bool) (sat.Result, *verify.Certificate) {
+		o := hyqsat.HardwareOptions()
+		o.Seed = seed
+		o.CDCL.MaxConflicts = budget
+		h := hyqsat.New(f, o)
+		var rec *verify.Recorder
+		if certify {
+			rec = verify.NewRecorder()
+			h.SetProofWriter(rec)
+		}
+		r := h.Solve()
+		model := r.Model
+		if r.Status == sat.Sat && len(model) > f.NumVars {
+			model = model[:f.NumVars]
+		}
+		res := sat.Result{Status: r.Status, Model: model, Stats: r.Stats.SAT}
+		if !certify {
+			return res, nil
+		}
+		return res, &verify.Certificate{Premise: h.ThreeCNF(), Proof: rec.Proof()}
+	}
 	return Entrant{
 		Name: fmt.Sprintf("hyqsat/s%d", seed),
 		Solve: func(f *cnf.Formula, budget int64) sat.Result {
-			o := hyqsat.HardwareOptions()
-			o.Seed = seed
-			o.CDCL.MaxConflicts = budget
-			r := hyqsat.New(f, o).Solve()
-			model := r.Model
-			if r.Status == sat.Sat && len(model) > f.NumVars {
-				model = model[:f.NumVars]
-			}
-			return sat.Result{Status: r.Status, Model: model, Stats: r.Stats.SAT}
+			r, _ := run(f, budget, false)
+			return r
+		},
+		SolveCertified: func(f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
+			return run(f, budget, true)
 		},
 	}
 }
@@ -77,10 +117,13 @@ func DefaultEntrants(seed int64) []Entrant {
 }
 
 // Outcome is the portfolio result: the winning entrant and its result.
+// Certified is set by SolveCertified once the winner's verdict passed
+// independent verification.
 type Outcome struct {
-	Winner  string
-	Result  sat.Result
-	Elapsed time.Duration
+	Winner    string
+	Result    sat.Result
+	Elapsed   time.Duration
+	Certified bool
 }
 
 // ErrInvalidModel is reported when a Sat entrant returned a non-model —
@@ -91,10 +134,38 @@ func (e ErrInvalidModel) Error() string {
 	return "portfolio: entrant " + e.Entrant + " returned an invalid model"
 }
 
+// ErrUncertified is reported when an entrant's conclusive verdict failed
+// certification (an Unsat verdict whose proof the RUP checker rejects).
+type ErrUncertified struct {
+	Entrant string
+	Reason  error
+}
+
+func (e ErrUncertified) Error() string {
+	return fmt.Sprintf("portfolio: entrant %s verdict failed certification: %v", e.Entrant, e.Reason)
+}
+
+func (e ErrUncertified) Unwrap() error { return e.Reason }
+
 // Solve races the entrants on f until one returns a conclusive verified
 // result or the context is cancelled. Entrants solve in conflict-budget
-// windows so cancellation latency stays bounded.
+// windows so cancellation latency stays bounded. Sat models are always
+// checked; Unsat verdicts are trusted (use SolveCertified to require
+// proofs).
 func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
+	return race(ctx, f, entrants, false)
+}
+
+// SolveCertified is Solve with mandatory certification: a Sat winner must
+// produce a model satisfying f, and an Unsat winner must produce a DRAT
+// proof accepted by the RUP checker against the entrant's premise. Entrants
+// without a SolveCertified implementation fall back to model-checked Solve
+// and can win Sat races but have their Unsat verdicts rejected.
+func SolveCertified(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
+	return race(ctx, f, entrants, true)
+}
+
+func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool) (Outcome, error) {
 	if len(entrants) == 0 {
 		return Outcome{}, fmt.Errorf("portfolio: no entrants")
 	}
@@ -122,9 +193,15 @@ func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, er
 					return
 				default:
 				}
-				r := e.Solve(f.Copy(), budget)
+				var r sat.Result
+				var cert *verify.Certificate
+				if certify && e.SolveCertified != nil {
+					r, cert = e.SolveCertified(f.Copy(), budget)
+				} else {
+					r = e.Solve(f.Copy(), budget)
+				}
 				if r.Status == sat.Sat {
-					if !cnf.FromBools(r.Model[:f.NumVars]).Satisfies(f) {
+					if err := verify.CheckModel(f, r.Model); err != nil {
 						results <- msg{e.Name, r, ErrInvalidModel{e.Name}}
 						return
 					}
@@ -132,6 +209,17 @@ func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, er
 					return
 				}
 				if r.Status == sat.Unsat {
+					if certify {
+						if cert == nil {
+							results <- msg{e.Name, r, ErrUncertified{e.Name,
+								fmt.Errorf("no certificate produced")}}
+							return
+						}
+						if err := cert.CheckUnsat(); err != nil {
+							results <- msg{e.Name, r, ErrUncertified{e.Name, err}}
+							return
+						}
+					}
 					results <- msg{e.Name, r, nil}
 					return
 				}
@@ -153,7 +241,8 @@ func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, er
 				}
 				continue
 			}
-			return Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start)}, nil
+			return Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start),
+				Certified: certify}, nil
 		}
 	}
 }

@@ -87,6 +87,101 @@ func TestPortfolioRejectsInvalidModels(t *testing.T) {
 	}
 }
 
+func TestPortfolioCertifiedSat(t *testing.T) {
+	inst := gen.SatisfiableRandom3SAT(40, 168, 11)
+	out, err := SolveCertified(context.Background(), inst.Formula, DefaultEntrants(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Status != sat.Sat || !out.Certified {
+		t.Fatalf("status=%v certified=%v", out.Result.Status, out.Certified)
+	}
+}
+
+func TestPortfolioCertifiedUnsat(t *testing.T) {
+	inst := gen.CmpAdd(6, 4)
+	if inst.Expected != sat.Unsat {
+		t.Fatalf("expected UNSAT fixture, got %v", inst.Expected)
+	}
+	out, err := SolveCertified(context.Background(), inst.Formula, DefaultEntrants(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Status != sat.Unsat || !out.Certified {
+		t.Fatalf("status=%v certified=%v", out.Result.Status, out.Certified)
+	}
+}
+
+func TestPortfolioCertifiedRejectsLyingUnsat(t *testing.T) {
+	// An entrant claiming UNSAT on a satisfiable formula without a usable
+	// proof must lose the certified race.
+	f := cnf.New(2)
+	f.Add(1, 2)
+	liar := Entrant{
+		Name: "unsat-liar",
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			return sat.Result{Status: sat.Unsat}
+		},
+	}
+	if _, err := SolveCertified(context.Background(), f, []Entrant{liar}); err == nil {
+		t.Fatal("uncertified UNSAT verdict accepted")
+	}
+}
+
+func TestPortfolioFirstWinnerCancellation(t *testing.T) {
+	// Dedicated concurrent-cancellation stress: one instant winner racing
+	// slow losers that keep solving in small budget windows. The losers must
+	// observe cancellation and exit instead of racing the returned Outcome.
+	// Run with -race; the test fails under the race detector if the fan-out
+	// shares state unsafely.
+	inst := gen.SatisfiableRandom3SAT(30, 126, 21)
+	slow := func(name string) Entrant {
+		return Entrant{
+			Name: name,
+			Solve: func(f *cnf.Formula, budget int64) sat.Result {
+				time.Sleep(2 * time.Millisecond)
+				return sat.Result{Status: sat.Unknown} // never concludes
+			},
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		entrants := []Entrant{slow("slow1"), MiniSATEntrant(int64(trial)), slow("slow2")}
+		out, err := Solve(context.Background(), inst.Formula, entrants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Result.Status != sat.Sat {
+			t.Fatalf("trial %d: status %v", trial, out.Result.Status)
+		}
+	}
+}
+
+func TestPortfolioCancelWhileRacing(t *testing.T) {
+	// Cancellation arriving mid-race (not pre-expired) must unwind promptly
+	// even though no entrant ever concludes.
+	f := cnf.New(3)
+	f.Add(1, 2, 3)
+	stuck := Entrant{
+		Name: "stuck",
+		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			time.Sleep(time.Millisecond)
+			return sat.Result{Status: sat.Unknown}
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := Solve(ctx, f, []Entrant{stuck, stuck}); err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+}
+
 func TestPortfolioAgreesWithDirectSolve(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 6; trial++ {

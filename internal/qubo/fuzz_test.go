@@ -1,0 +1,120 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+
+	"hyqsat/internal/cnf"
+)
+
+// FuzzEncodeClause checks the semantic core of the QA encoding (Eq. 3–5):
+// for every assignment of the logical variables, the minimum of the α=1
+// objective over the auxiliary variables equals the number of violated input
+// clauses. In particular the encoding's ground states are exactly the
+// satisfying assignments — the property the whole hybrid pipeline rests on.
+func FuzzEncodeClause(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 0, 4})
+	f.Add([]byte{2, 0, 0, 4, 1, 5})
+	f.Add([]byte{0xff, 0x80, 0x40, 0x20, 0x10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nVars = 4
+		clauses, ok := clausesFromBytes(data, nVars)
+		if !ok {
+			t.Skip()
+		}
+		enc, err := Encode(clauses)
+		if err != nil {
+			t.Skip()
+		}
+		n := enc.NumNodes()
+		if n == 0 || n > 12 {
+			t.Skip()
+		}
+
+		// Enumerate every node assignment; per logical projection keep the
+		// minimum energy over the auxiliary choices.
+		minEnergy := map[uint32]float64{}
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make([]bool, n)
+			for i := 0; i < n; i++ {
+				x[i] = mask&(1<<i) != 0
+			}
+			var key uint32
+			for v := 0; v < nVars; v++ {
+				if node, mapped := enc.VarNode[cnf.Var(v)]; mapped && x[node] {
+					key |= 1 << v
+				}
+			}
+			e := enc.UnitEnergy(x)
+			if cur, seen := minEnergy[key]; !seen || e < cur {
+				minEnergy[key] = e
+			}
+		}
+
+		for key := 0; key < 1<<nVars; key++ {
+			a := cnf.NewAssignment(nVars)
+			for v := 0; v < nVars; v++ {
+				a.Set(cnf.Var(v), key&(1<<v) != 0)
+			}
+			violated := 0
+			for _, c := range clauses {
+				if a.Status(c) != cnf.ClauseSatisfied {
+					violated++
+				}
+			}
+			// Skip logical projections not reachable (variable absent from
+			// the encoding): they collapse onto a key with that bit clear.
+			reachKey := uint32(0)
+			for v := 0; v < nVars; v++ {
+				if _, mapped := enc.VarNode[cnf.Var(v)]; mapped && key&(1<<v) != 0 {
+					reachKey |= 1 << v
+				}
+			}
+			if uint32(key) != reachKey {
+				continue
+			}
+			got, seen := minEnergy[reachKey]
+			if !seen {
+				t.Fatalf("logical assignment %04b has no node assignment", key)
+			}
+			if math.Abs(got-float64(violated)) > 1e-9 {
+				t.Fatalf("assignment %04b: min energy %v, %d violated clauses\nclauses: %v",
+					key, got, violated, clauses)
+			}
+			// The optimal-auxiliary construction must achieve that minimum.
+			direct := enc.UnitEnergy(enc.NodesFromAssignment(a))
+			if math.Abs(direct-float64(violated)) > 1e-9 {
+				t.Fatalf("NodesFromAssignment energy %v, want %d", direct, violated)
+			}
+		}
+	})
+}
+
+// clausesFromBytes decodes 1–3 clauses of 1–3 literals over nVars variables.
+func clausesFromBytes(data []byte, nVars int) ([]cnf.Clause, bool) {
+	if len(data) < 2 {
+		return nil, false
+	}
+	numClauses := int(data[0])%3 + 1
+	data = data[1:]
+	var clauses []cnf.Clause
+	for i := 0; i < numClauses; i++ {
+		if len(data) == 0 {
+			return nil, false
+		}
+		k := int(data[0])%3 + 1
+		data = data[1:]
+		if len(data) < k {
+			return nil, false
+		}
+		c := make(cnf.Clause, k)
+		for j := 0; j < k; j++ {
+			b := data[j]
+			c[j] = cnf.MkLit(cnf.Var(int(b)%nVars), b&(1<<6) != 0)
+		}
+		data = data[k:]
+		clauses = append(clauses, c)
+	}
+	return clauses, true
+}

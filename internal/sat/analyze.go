@@ -156,13 +156,16 @@ func (s *Solver) handleConflict(conflict cref) bool {
 	if s.decisionLevel() == s.rootLevel {
 		s.status = Unsat
 		s.conflictC = conflict
+		s.proofAdd(nil) // the empty clause: unsatisfiability is established
 		return false
 	}
 	learnt, backjump := s.analyze(conflict)
+	s.proofAdd(learnt)
 	s.cancelUntil(backjump)
 	if len(learnt) == 1 {
 		if !s.enqueue(learnt[0], crefUndef) {
 			s.status = Unsat
+			s.proofAdd(nil)
 			return false
 		}
 	} else {

@@ -23,18 +23,25 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 		if conflict != crefUndef {
 			if s.decisionLevel() == 0 {
 				s.status = Unsat
+				s.proofAdd(nil)
 				return Result{Status: Unsat, Stats: s.stats}
 			}
 			if int(s.decisionLevel()) <= len(assumptions) {
 				// The conflict depends on the assumptions: unsatisfiable
 				// under them, but not necessarily globally. Learn from it
-				// anyway, then report.
+				// anyway, then report. The learnt clause is a genuine RUP
+				// consequence of the formula (assumptions only steered the
+				// search), so it belongs in the proof trace.
 				s.stats.Conflicts++
 				learnt, backjump := s.analyze(conflict)
+				s.proofAdd(learnt)
 				s.cancelUntil(backjump)
 				if len(learnt) == 1 {
 					if !s.enqueue(learnt[0], crefUndef) {
 						s.status = Unsat
+						if s.decisionLevel() == 0 {
+							s.proofAdd(nil)
+						}
 						return Result{Status: Unsat, Stats: s.stats}
 					}
 				} else {
@@ -43,6 +50,9 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 					s.stats.Learned++
 					if !s.enqueue(learnt[0], c) {
 						s.status = Unsat
+						if s.decisionLevel() == 0 {
+							s.proofAdd(nil)
+						}
 						return Result{Status: Unsat, Stats: s.stats}
 					}
 				}

@@ -1,0 +1,45 @@
+package sat
+
+import "hyqsat/internal/cnf"
+
+// ProofWriter receives the clause events of a CDCL run in the order the
+// solver performs them, forming a DRAT/RUP-style proof trace: every clause
+// passed to ProofAdd is a reverse-unit-propagation (RUP) consequence of the
+// input formula plus the previously added clauses, and ProofDelete marks a
+// clause the solver discards from its database. An empty ProofAdd is the
+// empty clause — the final step of an unsatisfiability proof.
+//
+// The literal slices are owned by the solver and only valid for the duration
+// of the call; implementations must copy them if they retain them.
+//
+// Implementations live in internal/verify (an in-memory Recorder and a DRAT
+// text serialiser); the hook is defined here so the solver core stays free of
+// verification dependencies.
+type ProofWriter interface {
+	ProofAdd(lits []cnf.Lit)
+	ProofDelete(lits []cnf.Lit)
+}
+
+// SetProofWriter attaches a proof writer to the solver. Attach it before
+// solving starts; clauses learnt earlier are not replayed. A nil writer
+// disables proof logging.
+//
+// Unsatisfiability detected during New (an empty input clause or a root-level
+// propagation conflict) produces no proof steps: in that case the empty
+// clause follows from the input formula by unit propagation alone, which a
+// RUP checker verifies from an empty proof.
+func (s *Solver) SetProofWriter(w ProofWriter) { s.proof = w }
+
+// proofAdd logs a derived clause when a proof writer is attached.
+func (s *Solver) proofAdd(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proof.ProofAdd(lits)
+	}
+}
+
+// proofDelete logs a deleted clause when a proof writer is attached.
+func (s *Solver) proofDelete(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proof.ProofDelete(lits)
+	}
+}

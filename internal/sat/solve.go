@@ -215,6 +215,7 @@ func (s *Solver) reduceDB() {
 			continue
 		}
 		cl.deleted = true
+		s.proofDelete(cl.lits)
 		cl.lits = nil
 		s.stats.Removed++
 	}

@@ -88,6 +88,9 @@ type Solver struct {
 	rootLevel int32
 	conflictC cref // last conflicting clause (for diagnostics)
 
+	// proof, when non-nil, receives every learnt/deleted clause (DRAT trace).
+	proof ProofWriter
+
 	// forced is a queue of literals to prefer as upcoming decisions
 	// (consumed front to back, skipping assigned variables). Set by the
 	// hybrid backend to inject a QA assignment as the next search state.

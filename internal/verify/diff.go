@@ -1,0 +1,226 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// DiffSolver is one solver under differential test: a name and a complete
+// decision procedure for the formula. Solvers are injected rather than
+// imported so this package stays below the hybrid and portfolio layers.
+type DiffSolver struct {
+	Name  string
+	Solve func(f *cnf.Formula) (sat.Status, []bool)
+}
+
+// DiffConfig parameterises a differential run over random 3-SAT instances.
+// The clause/variable ratio range straddles the phase transition (~4.27) so
+// the generated mix contains both satisfiable and unsatisfiable instances.
+type DiffConfig struct {
+	Instances int     // number of instances (default 500)
+	MinVars   int     // smallest variable count (default 8)
+	MaxVars   int     // largest variable count (default 40)
+	MinRatio  float64 // lowest clause/var ratio (default 3.0)
+	MaxRatio  float64 // highest clause/var ratio (default 5.5)
+	Seed      int64   // generator seed
+}
+
+func (c DiffConfig) withDefaults() DiffConfig {
+	if c.Instances == 0 {
+		c.Instances = 500
+	}
+	if c.MinVars == 0 {
+		c.MinVars = 8
+	}
+	if c.MaxVars == 0 {
+		c.MaxVars = 40
+	}
+	if c.MinRatio == 0 {
+		c.MinRatio = 3.0
+	}
+	if c.MaxRatio == 0 {
+		c.MaxRatio = 5.5
+	}
+	return c
+}
+
+// Disagreement reports one differential failure: a solver whose verdict (or
+// model) differs from the oracle's, together with the instance, the shrunk
+// minimal failing clause subset, and its DIMACS rendering for replay.
+type Disagreement struct {
+	Index    int          // instance number within the run
+	Solver   string       // the disagreeing solver
+	Oracle   sat.Status   // referee verdict
+	Got      sat.Status   // solver verdict
+	Detail   string       // human-readable diagnosis
+	Formula  *cnf.Formula // full failing instance
+	Shrunk   *cnf.Formula // minimal clause subset still failing
+	DIMACS   string       // DIMACS text of Shrunk
+	SatStats [2]int       // (sat, unsat) tally at failure time, for context
+}
+
+func (d Disagreement) String() string {
+	return fmt.Sprintf("instance %d: %s returned %v, oracle %v (%s); shrunk to %d clauses:\n%s",
+		d.Index, d.Solver, d.Got, d.Oracle, d.Detail, d.Shrunk.NumClauses(), d.DIMACS)
+}
+
+// DiffRandom cross-checks the given solvers against the Oracle on randomized
+// 3-SAT instances. Every solver must agree with the oracle's verdict, and
+// every Sat verdict must come with a model satisfying the instance. Failing
+// instances are shrunk to a minimal clause subset before being reported.
+// The returned tallies count oracle-satisfiable and -unsatisfiable instances,
+// so callers can assert the mix was genuinely two-sided.
+func DiffRandom(cfg DiffConfig, solvers []DiffSolver) (disagreements []Disagreement, satCount, unsatCount int) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Instances; i++ {
+		f := randomInstance(rng, cfg)
+		oracleStatus, _ := Oracle(f)
+		if oracleStatus == sat.Sat {
+			satCount++
+		} else {
+			unsatCount++
+		}
+		for _, s := range solvers {
+			if d, bad := diffOne(f, oracleStatus, s); bad {
+				d.Index = i
+				d.SatStats = [2]int{satCount, unsatCount}
+				disagreements = append(disagreements, d)
+			}
+		}
+	}
+	return disagreements, satCount, unsatCount
+}
+
+// diffOne runs one solver on one instance and, on disagreement, shrinks the
+// instance to a minimal failing clause subset.
+func diffOne(f *cnf.Formula, oracleStatus sat.Status, s DiffSolver) (Disagreement, bool) {
+	detail, bad := diffCheck(f, oracleStatus, s)
+	if !bad {
+		return Disagreement{}, false
+	}
+	shrunk := shrink(f, func(g *cnf.Formula) bool {
+		ref, _ := Oracle(g)
+		_, stillBad := diffCheck(g, ref, s)
+		return stillBad
+	})
+	got, _ := s.Solve(f.Copy())
+	return Disagreement{
+		Solver:  s.Name,
+		Oracle:  oracleStatus,
+		Got:     got,
+		Detail:  detail,
+		Formula: f,
+		Shrunk:  shrunk,
+		DIMACS:  cnf.DIMACSString(shrunk),
+	}, true
+}
+
+// diffCheck reports whether solver s disagrees with the oracle verdict on f,
+// including returning an invalid model for a Sat verdict.
+func diffCheck(f *cnf.Formula, oracleStatus sat.Status, s DiffSolver) (string, bool) {
+	status, model := s.Solve(f.Copy())
+	if status != oracleStatus {
+		return fmt.Sprintf("verdict mismatch: %v vs oracle %v", status, oracleStatus), true
+	}
+	if status == sat.Sat {
+		if err := CheckModel(f, model); err != nil {
+			return fmt.Sprintf("invalid model: %v", err), true
+		}
+	}
+	return "", false
+}
+
+// shrink greedily removes clauses while the predicate keeps holding,
+// repeating until no single clause can be removed — a 1-minimal failing
+// subset (ddmin with granularity 1).
+func shrink(f *cnf.Formula, failing func(*cnf.Formula) bool) *cnf.Formula {
+	cur := f.Copy()
+	for {
+		removedAny := false
+		for i := 0; i < len(cur.Clauses); i++ {
+			cand := &cnf.Formula{NumVars: cur.NumVars}
+			cand.Clauses = append(append([]cnf.Clause(nil), cur.Clauses[:i]...), cur.Clauses[i+1:]...)
+			if failing(cand) {
+				cur = cand
+				removedAny = true
+				i--
+			}
+		}
+		if !removedAny {
+			return compactVars(cur)
+		}
+	}
+}
+
+// compactVars renumbers the variables of f to drop unused ones, shrinking
+// the reported instance further without changing its clause structure.
+func compactVars(f *cnf.Formula) *cnf.Formula {
+	used := map[cnf.Var]struct{}{}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			used[l.Var()] = struct{}{}
+		}
+	}
+	vars := make([]cnf.Var, 0, len(used))
+	for v := range used {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	remap := make(map[cnf.Var]cnf.Var, len(vars))
+	for i, v := range vars {
+		remap[v] = cnf.Var(i)
+	}
+	g := &cnf.Formula{NumVars: len(vars)}
+	for _, c := range f.Clauses {
+		nc := make(cnf.Clause, len(c))
+		for i, l := range c {
+			nc[i] = cnf.MkLit(remap[l.Var()], l.IsNeg())
+		}
+		g.Clauses = append(g.Clauses, nc)
+	}
+	return g
+}
+
+// randomInstance draws a uniform random 3-SAT instance within the config's
+// size and density ranges.
+func randomInstance(rng *rand.Rand, cfg DiffConfig) *cnf.Formula {
+	n := cfg.MinVars + rng.Intn(cfg.MaxVars-cfg.MinVars+1)
+	ratio := cfg.MinRatio + rng.Float64()*(cfg.MaxRatio-cfg.MinRatio)
+	m := int(ratio * float64(n))
+	if m < 1 {
+		m = 1
+	}
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		perm := rng.Perm(n)
+		k := 3
+		if n < 3 {
+			k = n
+		}
+		c := make(cnf.Clause, k)
+		for j := 0; j < k; j++ {
+			c[j] = cnf.MkLit(cnf.Var(perm[j]), rng.Intn(2) == 1)
+		}
+		f.AddClause(c)
+	}
+	return f
+}
+
+// FormatDisagreements renders a differential failure list for test output.
+func FormatDisagreements(ds []Disagreement) string {
+	if len(ds) == 0 {
+		return "no disagreements"
+	}
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

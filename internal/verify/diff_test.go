@@ -1,0 +1,108 @@
+// Differential certification: the production solvers (classical CDCL in both
+// preset configurations, and the HyQSAT hybrid) cross-checked against the
+// reference DPLL oracle on hundreds of randomized instances straddling the
+// 3-SAT phase transition. This is the harness every future performance PR
+// regresses against.
+//
+// The test lives in an external package because the hybrid solver sits above
+// internal/verify in the dependency order.
+package verify_test
+
+import (
+	"testing"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/sat"
+	"hyqsat/internal/verify"
+)
+
+// diffSolvers returns the production solvers under differential test.
+func diffSolvers() []verify.DiffSolver {
+	return []verify.DiffSolver{
+		{Name: "minisat", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			r := sat.New(f, sat.MiniSATOptions()).Solve()
+			return r.Status, r.Model
+		}},
+		{Name: "kissat", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			r := sat.New(f, sat.KissatOptions()).Solve()
+			return r.Status, r.Model
+		}},
+		{Name: "hyqsat", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			o := hyqsat.HardwareOptions()
+			o.Seed = 17
+			r := hyqsat.New(f, o).Solve()
+			return r.Status, r.Model
+		}},
+	}
+}
+
+func TestDifferentialOracleVsCDCLVsHybrid(t *testing.T) {
+	cfg := verify.DiffConfig{
+		Instances: 500,
+		MinVars:   8,
+		MaxVars:   40,
+		MinRatio:  3.0,
+		MaxRatio:  5.5,
+		Seed:      2023,
+	}
+	ds, satN, unsatN := verify.DiffRandom(cfg, diffSolvers())
+	t.Logf("differential run: %d instances (%d sat, %d unsat)", cfg.Instances, satN, unsatN)
+	if len(ds) != 0 {
+		t.Fatalf("%d disagreement(s):\n%s", len(ds), verify.FormatDisagreements(ds))
+	}
+	// The ratio range must actually produce a two-sided mix, or the UNSAT
+	// side of every solver went untested.
+	if satN == 0 || unsatN == 0 {
+		t.Fatalf("one-sided instance mix: %d sat, %d unsat", satN, unsatN)
+	}
+}
+
+func TestDifferentialCertifiedUnsat(t *testing.T) {
+	// Same harness, narrower and deeper: on every oracle-UNSAT instance the
+	// classical solvers must also produce a checkable proof, and the hybrid
+	// must produce one against its 3-CNF premise.
+	cfg := verify.DiffConfig{
+		Instances: 80,
+		MinVars:   10,
+		MaxVars:   30,
+		MinRatio:  4.5,
+		MaxRatio:  6.5,
+		Seed:      4096,
+	}
+	solvers := []verify.DiffSolver{
+		{Name: "minisat-certified", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			s := sat.New(f, sat.MiniSATOptions())
+			rec := verify.NewRecorder()
+			s.SetProofWriter(rec)
+			r := s.Solve()
+			if r.Status == sat.Unsat {
+				if err := verify.CheckUnsatProof(f, rec.Proof()); err != nil {
+					t.Errorf("minisat UNSAT not certified: %v\n%s", err, cnf.DIMACSString(f))
+				}
+			}
+			return r.Status, r.Model
+		}},
+		{Name: "hyqsat-certified", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			o := hyqsat.HardwareOptions()
+			o.Seed = 23
+			o.SelfCertify = true
+			h := hyqsat.New(f, o)
+			r := h.Solve()
+			if r.CertErr != nil {
+				t.Errorf("hyqsat self-certification failed: %v\n%s", r.CertErr, cnf.DIMACSString(f))
+			}
+			if r.Status != sat.Unknown && !r.Certified {
+				t.Errorf("hyqsat returned %v without certification", r.Status)
+			}
+			return r.Status, r.Model
+		}},
+	}
+	ds, satN, unsatN := verify.DiffRandom(cfg, solvers)
+	if len(ds) != 0 {
+		t.Fatalf("%d disagreement(s):\n%s", len(ds), verify.FormatDisagreements(ds))
+	}
+	if unsatN == 0 {
+		t.Fatalf("no UNSAT instances in certified run (%d sat)", satN)
+	}
+}

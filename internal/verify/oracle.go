@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// Oracle decides f with a deliberately minimal DPLL procedure: unit
+// propagation by whole-formula scanning, branching on the first unassigned
+// variable, no learning, no heuristics, no mutable shared state (each branch
+// copies the assignment). It is the repository's trusted referee — slow but
+// small enough to audit by eye — and always terminates with Sat or Unsat.
+//
+// On Sat the returned model is total (unconstrained variables default to
+// false) and satisfies every clause of f; on Unsat the model is nil.
+func Oracle(f *cnf.Formula) (sat.Status, []bool) {
+	a := cnf.NewAssignment(f.NumVars)
+	model, ok := dpll(f, a)
+	if !ok {
+		return sat.Unsat, nil
+	}
+	return sat.Sat, model.Bools()
+}
+
+// dpll is the recursive core: propagate units, then split on the first
+// unassigned variable. The assignment is copied at every split, trading
+// speed for obviousness.
+func dpll(f *cnf.Formula, a cnf.Assignment) (cnf.Assignment, bool) {
+	// Unit propagation to a fixed point, by scanning every clause.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range f.Clauses {
+			switch a.Status(c) {
+			case cnf.ClauseFalsified:
+				return nil, false
+			case cnf.ClauseUnit:
+				for _, l := range c {
+					if a.Lit(l) == cnf.Undef {
+						a.Set(l.Var(), !l.IsNeg())
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// All clauses satisfied? Then any completion of a is a model.
+	done := true
+	for _, c := range f.Clauses {
+		if a.Status(c) != cnf.ClauseSatisfied {
+			done = false
+			break
+		}
+	}
+	if done {
+		return a, true
+	}
+
+	// Split on the first unassigned variable.
+	for v := cnf.Var(0); int(v) < f.NumVars; v++ {
+		if a[v] != cnf.Undef {
+			continue
+		}
+		for _, val := range []bool{true, false} {
+			branch := append(cnf.Assignment(nil), a...)
+			branch.Set(v, val)
+			if m, ok := dpll(f, branch); ok {
+				return m, true
+			}
+		}
+		return nil, false
+	}
+	// Every variable assigned but some clause unsatisfied: the Status scan
+	// above would have reported it falsified; unreachable.
+	return nil, false
+}

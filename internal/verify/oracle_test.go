@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+func TestOracleKnownFormulas(t *testing.T) {
+	empty := cnf.New(3)
+	if st, _ := Oracle(empty); st != sat.Sat {
+		t.Fatalf("empty formula: %v", st)
+	}
+
+	unit := cnf.New(2)
+	unit.Add(1)
+	unit.Add(-1, 2)
+	st, m := Oracle(unit)
+	if st != sat.Sat {
+		t.Fatalf("unit chain: %v", st)
+	}
+	if !m[0] || !m[1] {
+		t.Fatalf("unit chain model %v", m)
+	}
+
+	contra := cnf.New(1)
+	contra.Add(1)
+	contra.Add(-1)
+	if st, _ := Oracle(contra); st != sat.Unsat {
+		t.Fatalf("contradiction: %v", st)
+	}
+
+	if st, _ := Oracle(pigeonhole(4, 3)); st != sat.Unsat {
+		t.Fatal("php(4,3) not unsat under oracle")
+	}
+	if st, m := Oracle(pigeonhole(3, 3)); st != sat.Sat || CheckModel(pigeonhole(3, 3), m) != nil {
+		t.Fatal("php(3,3) should be satisfiable with a valid model")
+	}
+
+	hasEmpty := cnf.New(2)
+	hasEmpty.Add(1, 2)
+	hasEmpty.AddClause(cnf.Clause{})
+	if st, _ := Oracle(hasEmpty); st != sat.Unsat {
+		t.Fatal("empty clause not refuted")
+	}
+}
+
+func TestOracleAgreesWithCDCL(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DiffConfig{MinVars: 5, MaxVars: 25, MinRatio: 2.5, MaxRatio: 6.0}.withDefaults()
+	for i := 0; i < 120; i++ {
+		f := randomInstance(rng, cfg)
+		ost, om := Oracle(f)
+		r := sat.New(f.Copy(), sat.MiniSATOptions()).Solve()
+		if ost != r.Status {
+			t.Fatalf("instance %d: oracle=%v cdcl=%v\n%s", i, ost, r.Status, cnf.DIMACSString(f))
+		}
+		if ost == sat.Sat {
+			if err := CheckModel(f, om); err != nil {
+				t.Fatalf("instance %d: oracle model invalid: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestCheckModelStrict(t *testing.T) {
+	f := cnf.New(3)
+	f.Add(1, 2)
+	f.Add(-1, 3)
+
+	if err := CheckModel(f, []bool{true, false, true}); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if err := CheckModel(f, []bool{true, false, false}); err == nil {
+		t.Fatal("falsifying model accepted")
+	}
+	if err := CheckModel(f, []bool{true, false}); err == nil {
+		t.Fatal("short model accepted")
+	}
+	// Extra entries (3-CNF auxiliaries) are tolerated.
+	if err := CheckModel(f, []bool{true, false, true, true, false}); err != nil {
+		t.Fatalf("model with auxiliaries rejected: %v", err)
+	}
+}
