@@ -1,11 +1,22 @@
 #!/bin/sh
-# Full verification gate: build, vet, race-enabled tests, and a short
-# fuzzing pass over the three fuzz targets. Run from the repo root.
+# Full verification gate: build, vet, race-enabled tests, a short fuzzing
+# pass over the three fuzz targets, and a sampler benchmark smoke run that
+# refreshes the machine-readable perf baseline. Run from the repo root.
+#
+# Set HYQSAT_BENCH_FULL=1 to also re-check full-report identity across
+# bench worker counts (slow; skipped by default).
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
+# Targeted race runs on the concurrency-bearing packages: parallel Sample,
+# the embedding cache under the hybrid loop, and the bench worker pool.
+go test -race -count=1 ./internal/anneal ./internal/hyqsat ./internal/bench
 go test -run='^$' -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/cnf
 go test -run='^$' -fuzz=FuzzEncodeClause -fuzztime=10s ./internal/qubo
 go test -run='^$' -fuzz=FuzzProofCheck -fuzztime=10s ./internal/verify
+# Sampler perf smoke: the kernel must stay 0 allocs/op, and the baseline
+# file tracks the numbers this host produced.
+go test -run='^$' -bench=BenchmarkSampleOnce -benchmem -benchtime=10x .
+go run ./cmd/benchreport

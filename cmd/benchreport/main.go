@@ -1,0 +1,133 @@
+// Command benchreport runs the sampler micro-benchmarks (the same workloads
+// as the root BenchmarkSampleOnce / BenchmarkSamplerParallel) programmatically
+// and writes a machine-readable baseline to BENCH_baseline.json, so future
+// changes have a perf trajectory to compare against.
+//
+// Usage:
+//
+//	benchreport                 # write/update BENCH_baseline.json
+//	benchreport -o report.json  # write elsewhere
+//	benchreport -stdout         # print instead of writing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hyqsat/internal/anneal"
+	"hyqsat/internal/bench"
+)
+
+// readsPerCall mirrors the root BenchmarkSamplerParallel workload.
+const readsPerCall = 32
+
+type benchResult struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+type report struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ParallelSpeedup4W is samples/sec at 4 workers over serial. ≥2× is the
+	// expectation on a ≥4-core machine; on fewer cores the pool can only
+	// reach ≈NumCPU×, which NumCPU above documents.
+	ParallelSpeedup4W float64       `json:"parallel_speedup_4w"`
+	Benchmarks        []benchResult `json:"benchmarks"`
+}
+
+func run(name string, samplesPerOp int, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	return benchResult{
+		Name:          name,
+		Iterations:    r.N,
+		NsPerOp:       nsPerOp,
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		AllocsPerOp:   r.AllocsPerOp(),
+		SamplesPerSec: float64(samplesPerOp) * 1e9 / nsPerOp,
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_baseline.json", "output path")
+	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
+	flag.Parse()
+
+	ep, err := bench.BuildSampleFixture(1, 30, 110)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, run("SampleOnce", 1, func(b *testing.B) {
+		s := anneal.NewSampler(anneal.DefaultSchedule(), anneal.DWave2000QNoise, 7)
+		var outSample anneal.Sample
+		s.SampleInto(ep, &outSample) // warm up scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.SampleInto(ep, &outSample)
+		}
+	}))
+
+	var serial, four float64
+	for _, workers := range []int{1, 2, 4} {
+		w := workers
+		res := run(fmt.Sprintf("SamplerParallel/workers=%d", w), readsPerCall, func(b *testing.B) {
+			s := anneal.NewSampler(anneal.DefaultSchedule(), anneal.DWave2000QNoise, 7)
+			s.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sample(ep, readsPerCall)
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		switch w {
+		case 1:
+			serial = res.SamplesPerSec
+		case 4:
+			four = res.SamplesPerSec
+		}
+	}
+	if serial > 0 {
+		rep.ParallelSpeedup4W = four / serial
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *stdout {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
+		*out, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
+		rep.ParallelSpeedup4W, rep.NumCPU)
+}

@@ -27,6 +27,7 @@ func main() {
 	samples := flag.Int("samples", 0, "samples for distribution experiments (default 120; paper 2000)")
 	seed := flag.Int64("seed", 1, "base seed")
 	timeout := flag.Int("embed-timeout", 0, "per-embedding timeout in seconds for fig13 (default 10; paper 300)")
+	workers := flag.Int("workers", 0, "worker pool for the iteration-count experiments (0 = NumCPU); reports are identical at any count")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -35,6 +36,7 @@ func main() {
 		Samples:           *samples,
 		Seed:              *seed,
 		EmbedTimeoutSec:   *timeout,
+		Workers:           *workers,
 	}.WithDefaults()
 
 	if *only == "" {

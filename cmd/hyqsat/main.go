@@ -4,7 +4,8 @@
 // Usage:
 //
 //	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N]
-//	       [-stats] [-proof file.drat] [-verify] file.cnf
+//	       [-reads N] [-stats] [-proof file.drat] [-verify]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] file.cnf
 //
 // With no file, the formula is read from stdin. Exit status follows the SAT
 // competition convention: 10 satisfiable, 20 unsatisfiable, 1 error.
@@ -17,6 +18,10 @@
 // -verify self-certifies the verdict in-process before reporting it: SAT
 // models are checked against the formula and UNSAT proofs replayed through
 // the RUP checker. A verdict that fails certification exits 1.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the solve (CPU
+// profiling brackets it; the heap profile is snapshotted right after),
+// inspectable with `go tool pprof`.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
@@ -49,6 +56,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	model := fs.Bool("model", true, "print the satisfying assignment")
 	proofPath := fs.String("proof", "", "write a DRAT proof to this file")
 	verifyFlag := fs.Bool("verify", false, "self-certify the verdict before reporting it")
+	reads := fs.Int("reads", 0, "QA reads per anneal access for hyqsat (default 1; best-energy read is used)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the solve to this file")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -56,6 +66,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hyqsat:", err)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "hyqsat: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	in := stdin
@@ -138,6 +173,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		opts.Seed = *seed
 		opts.Proof = hook
+		opts.NumReads = *reads
 		h := hyqsat.New(formula, opts)
 		r := h.Solve()
 		status, assignment = r.Status, r.Model
@@ -152,9 +188,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		if *stats {
 			st := r.Stats
-			fmt.Fprintf(stdout, "c iterations=%d warmup=%d qacalls=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
-				st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.EmbeddedClauses,
+			fmt.Fprintf(stdout, "c iterations=%d warmup=%d qacalls=%d reads=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
+				st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.QAReads, st.EmbeddedClauses,
 				st.Strategy1Hits, st.Strategy2Hits, st.Strategy3Hits, st.Strategy4Hits)
+			fmt.Fprintf(stdout, "c embedcache hits=%d misses=%d\n",
+				st.EmbedCacheHits, st.EmbedCacheMisses)
 			fmt.Fprintf(stdout, "c frontend=%v qadevice=%v backend=%v cdcl=%v total=%v\n",
 				st.Frontend, st.QADevice, st.Backend, st.CDCL, st.Total())
 		}

@@ -132,3 +132,33 @@ func TestCLIVerifyAndProofCombined(t *testing.T) {
 		t.Fatalf("proof file missing or empty: %v", err)
 	}
 }
+
+func TestCLIReadsAndStats(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "hyqsat", "-mode", "sim", "-reads", "3", "-stats"}, satCNF)
+	if code != 10 {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "reads=") || !strings.Contains(out, "embedcache hits=") {
+		t.Fatalf("stats output missing read/cache counters: %q", out)
+	}
+}
+
+func TestCLIProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "hyqsat", "-mode", "sim", "-cpuprofile", cpu, "-memprofile", mem}, satCNF)
+	if code != 10 {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty: %v", p, err)
+		}
+	}
+	if code, _, _ := runCLI(t, []string{"-cpuprofile", "/nonexistent/dir/x.pprof"}, satCNF); code != 1 {
+		t.Fatalf("unwritable cpuprofile path: code=%d, want 1", code)
+	}
+}

@@ -20,9 +20,12 @@ func main() {
 	f.Add(1, -2, 4)
 
 	// HardwareOptions emulates the paper's D-Wave 2000Q setup: Chimera
-	// 16×16 topology, 130µs per sample, device-like noise.
+	// 16×16 topology, 130µs per sample, device-like noise. NumReads draws
+	// several reads per QA access (in parallel, deterministically) and lets
+	// the backend classify the best-energy one.
 	opts := hyqsat.HardwareOptions()
 	opts.Seed = 42
+	opts.NumReads = 4
 
 	r := hyqsat.New(f, opts).Solve()
 	if r.Status != sat.Sat {
@@ -37,8 +40,9 @@ func main() {
 		log.Fatal("model check failed")
 	}
 	st := r.Stats
-	fmt.Printf("iterations: %d (warm-up %d), QA calls: %d, clauses accelerated: %d\n",
-		st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.EmbeddedClauses)
+	fmt.Printf("iterations: %d (warm-up %d), QA calls: %d (%d reads), clauses accelerated: %d\n",
+		st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.QAReads, st.EmbeddedClauses)
+	fmt.Printf("embedding cache: %d hits / %d misses\n", st.EmbedCacheHits, st.EmbedCacheMisses)
 	fmt.Printf("time: frontend %v + QA %v + backend %v + CDCL %v = %v\n",
 		st.Frontend, st.QADevice, st.Backend, st.CDCL, st.Total())
 }

@@ -9,6 +9,13 @@
 // Gaussian programming error on coefficients, per-qubit readout flips, and
 // truncated schedules that get trapped in local minima.
 //
+// Sampling is batched the way the real device is used: Sampler.Sample draws
+// many reads from one programmed problem across a worker pool, with each
+// read's RNG stream derived from (seed, call, read) so results are
+// bit-identical regardless of worker count. The sweep kernel itself
+// (SampleInto) runs allocation-free in steady state against the flattened,
+// read-only structures EmbedIsing precomputes on EmbeddedProblem.
+//
 // Wall-clock device time is *modelled*, not measured: TimingModel charges
 // the D-Wave 2000Q datasheet costs per sample, which is how the paper
 // composes its end-to-end numbers too.
@@ -16,7 +23,6 @@ package anneal
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"hyqsat/internal/chimera"
@@ -59,7 +65,9 @@ func LongSchedule() Schedule { return Schedule{Sweeps: 512, BetaMin: 0.05, BetaM
 
 // EmbeddedProblem is a logical Ising model programmed onto hardware qubits
 // through an embedding: per-qubit fields, per-coupler strengths, and the
-// chain structure needed to read results back.
+// chain structure needed to read results back. After EmbedIsing returns,
+// every field is read-only — one EmbeddedProblem may be sampled from many
+// goroutines concurrently.
 type EmbeddedProblem struct {
 	Graph     *chimera.Graph
 	Embedding *embed.Embedding
@@ -67,10 +75,22 @@ type EmbeddedProblem struct {
 	Qubits  []int         // the active qubits, in a fixed order
 	qubitIx map[int]int   // qubit id → index into Qubits
 	H       []float64     // field per active qubit (indexed as Qubits)
-	adj     [][]coupling  // adjacency with coupler strengths
 	nodeOf  []int         // active-qubit index → logical node
 	chains  map[int][]int // logical node → active-qubit indices
 	offset  float64       // constant term of the logical Ising model
+
+	// Flattened structures precomputed once so the sweep kernel neither
+	// allocates nor sorts: CSR adjacency with a symmetric-pair index for the
+	// programming-noise model, chain lists in sorted-node order, and the
+	// largest coefficient magnitude (the noise scale).
+	adjStart   []int32   // CSR row offsets, len(Qubits)+1
+	adjOther   []int32   // neighbour active-qubit index per entry
+	adjJ       []float64 // coupler strength per entry
+	adjPair    []int32   // unordered-pair id per entry (both directions share one)
+	numPairs   int
+	maxAbs     float64 // max |coefficient| over H and couplers
+	chainNodes []int   // logical nodes, sorted
+	chainIx    [][]int // chain qubit-index lists, aligned with chainNodes
 }
 
 type coupling struct {
@@ -132,7 +152,12 @@ func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g *chimera.Graph, chainStr
 	}
 	n := len(ep.Qubits)
 	ep.H = make([]float64, n)
-	ep.adj = make([][]coupling, n)
+	adj := make([][]coupling, n)
+	addCoupler := func(qa, qb int, j float64) {
+		a, b := ep.qubitIx[qa], ep.qubitIx[qb]
+		adj[a] = append(adj[a], coupling{b, j})
+		adj[b] = append(adj[b], coupling{a, j})
+	}
 	for _, node := range nodes {
 		chain := emb.Chains[node]
 		ix := make([]int, len(chain))
@@ -148,7 +173,7 @@ func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g *chimera.Graph, chainStr
 		}
 		// Ferromagnetic chain couplers.
 		for _, c := range embed.IntraChainCouplers(g, chain) {
-			ep.addCoupler(c.A, c.B, -chainStrength)
+			addCoupler(c.A, c.B, -chainStrength)
 		}
 	}
 	jEdges := make([]qubo.Edge, 0, len(is.J))
@@ -175,16 +200,72 @@ func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g *chimera.Graph, chainStr
 		}
 		per := j / float64(len(couplers))
 		for _, c := range couplers {
-			ep.addCoupler(c.A, c.B, per)
+			addCoupler(c.A, c.B, per)
 		}
 	}
+	ep.finalize(adj)
 	return ep
 }
 
-func (ep *EmbeddedProblem) addCoupler(qa, qb int, j float64) {
-	a, b := ep.qubitIx[qa], ep.qubitIx[qb]
-	ep.adj[a] = append(ep.adj[a], coupling{b, j})
-	ep.adj[b] = append(ep.adj[b], coupling{a, j})
+// finalize flattens the build-time adjacency into the read-only CSR form the
+// sweep kernel runs on, assigns every unordered qubit pair a stable id (so
+// programming noise perturbs both directions of a coupler identically), and
+// precomputes the chain lists and the coefficient scale that SampleOnce used
+// to rescan on every call.
+func (ep *EmbeddedProblem) finalize(adj [][]coupling) {
+	n := len(ep.Qubits)
+	total := 0
+	for i := range adj {
+		total += len(adj[i])
+	}
+	ep.adjStart = make([]int32, n+1)
+	ep.adjOther = make([]int32, total)
+	ep.adjJ = make([]float64, total)
+	ep.adjPair = make([]int32, total)
+	pairOf := make(map[[2]int]int32, total/2)
+	k := 0
+	for i := 0; i < n; i++ {
+		ep.adjStart[i] = int32(k)
+		for _, c := range adj[i] {
+			key := [2]int{i, c.other}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			id, ok := pairOf[key]
+			if !ok {
+				id = int32(len(pairOf))
+				pairOf[key] = id
+			}
+			ep.adjOther[k] = int32(c.other)
+			ep.adjJ[k] = c.j
+			ep.adjPair[k] = id
+			k++
+		}
+	}
+	ep.adjStart[n] = int32(k)
+	ep.numPairs = len(pairOf)
+
+	ep.maxAbs = 0
+	for _, v := range ep.H {
+		if a := math.Abs(v); a > ep.maxAbs {
+			ep.maxAbs = a
+		}
+	}
+	for _, j := range ep.adjJ {
+		if a := math.Abs(j); a > ep.maxAbs {
+			ep.maxAbs = a
+		}
+	}
+
+	ep.chainNodes = make([]int, 0, len(ep.chains))
+	for node := range ep.chains {
+		ep.chainNodes = append(ep.chainNodes, node)
+	}
+	sort.Ints(ep.chainNodes)
+	ep.chainIx = make([][]int, len(ep.chainNodes))
+	for i, node := range ep.chainNodes {
+		ep.chainIx[i] = ep.chains[node]
+	}
 }
 
 // NumActiveQubits returns the number of qubits carrying the problem.
@@ -197,203 +278,6 @@ type Sample struct {
 	NodeValues     map[int]bool // logical node → value (x = spin up)
 	BrokenChains   int
 	HardwareEnergy float64 // Ising energy of the raw spins, incl. chain terms
-}
-
-// Sampler draws samples from embedded problems.
-type Sampler struct {
-	Schedule Schedule
-	Noise    Noise
-	Rng      *rand.Rand
-}
-
-// NewSampler returns a sampler with the given schedule and noise, seeded
-// deterministically.
-func NewSampler(sched Schedule, noise Noise, seed int64) *Sampler {
-	return &Sampler{Schedule: sched, Noise: noise, Rng: rand.New(rand.NewSource(seed))}
-}
-
-// SampleOnce draws a single hardware sample (one anneal + readout), the mode
-// HyQSAT uses: errors are absorbed by the CDCL loop instead of by repeated
-// sampling.
-func (s *Sampler) SampleOnce(ep *EmbeddedProblem) Sample {
-	n := len(ep.Qubits)
-	h := ep.H
-	adj := ep.adj
-	// Programming noise: perturb a copy of the coefficients.
-	if s.Noise.CoefficientSigma > 0 {
-		scale := 0.0
-		for _, v := range h {
-			if a := math.Abs(v); a > scale {
-				scale = a
-			}
-		}
-		for i := range adj {
-			for _, c := range adj[i] {
-				if a := math.Abs(c.j); a > scale {
-					scale = a
-				}
-			}
-		}
-		sigma := s.Noise.CoefficientSigma * scale
-		h = append([]float64(nil), ep.H...)
-		for i := range h {
-			h[i] += sigma * s.Rng.NormFloat64()
-		}
-		adj = make([][]coupling, n)
-		// Perturb couplers symmetrically: precompute one perturbation per
-		// unordered pair.
-		pert := map[[2]int]float64{}
-		for i := range ep.adj {
-			for _, c := range ep.adj[i] {
-				key := [2]int{i, c.other}
-				if key[0] > key[1] {
-					key[0], key[1] = key[1], key[0]
-				}
-				if _, ok := pert[key]; !ok {
-					pert[key] = sigma * s.Rng.NormFloat64()
-				}
-				adj[i] = append(adj[i], coupling{c.other, c.j + pert[key]})
-			}
-		}
-	}
-
-	// Random initial state, chain-aligned: the device initialises in a
-	// superposition and strong chain couplers keep chains coherent; a chain
-	// starts as one logical spin.
-	spins := make([]int8, n)
-	for i := range spins {
-		spins[i] = 1
-	}
-	{
-		chainNodes := make([]int, 0, len(ep.chains))
-		for node := range ep.chains {
-			chainNodes = append(chainNodes, node)
-		}
-		sort.Ints(chainNodes)
-		for _, node := range chainNodes {
-			v := int8(1)
-			if s.Rng.Intn(2) == 0 {
-				v = -1
-			}
-			for _, i := range ep.chains[node] {
-				spins[i] = v
-			}
-		}
-	}
-
-	// Metropolis sweeps with geometric β schedule. Moves are chain-level
-	// (an intact chain behaves as one logical spin in the device; the strong
-	// ferromagnetic coupling makes independent qubit flips within a chain
-	// exponentially unlikely), followed by a short single-qubit phase that
-	// lets hardware imperfection express itself, including chain breaks.
-	sched := s.Schedule
-	if sched.Sweeps <= 0 {
-		sched = DefaultSchedule()
-	}
-	beta := sched.BetaMin
-	ratio := 1.0
-	if sched.Sweeps > 1 {
-		ratio = math.Pow(sched.BetaMax/sched.BetaMin, 1/float64(sched.Sweeps-1))
-	}
-	chainNodes := make([]int, 0, len(ep.chains))
-	for node := range ep.chains {
-		chainNodes = append(chainNodes, node)
-	}
-	sort.Ints(chainNodes)
-	chainList := make([][]int, 0, len(ep.chains))
-	for _, node := range chainNodes {
-		chainList = append(chainList, ep.chains[node])
-	}
-	node := ep.nodeOf
-	for sweep := 0; sweep < sched.Sweeps; sweep++ {
-		for _, ix := range chainList {
-			// ΔE of flipping the whole chain: internal couplers are
-			// unchanged, only fields and chain-boundary couplers count.
-			sum := 0.0
-			for _, i := range ix {
-				local := h[i]
-				for _, c := range adj[i] {
-					if node[c.other] != node[i] {
-						local += c.j * float64(spins[c.other])
-					}
-				}
-				sum += float64(spins[i]) * local
-			}
-			dE := -2 * sum
-			if dE <= 0 || s.Rng.Float64() < math.Exp(-beta*dE) {
-				for _, i := range ix {
-					spins[i] = -spins[i]
-				}
-			}
-		}
-		beta *= ratio
-	}
-	// Single-qubit relaxation at final β.
-	qubitSweeps := sched.Sweeps / 16
-	if qubitSweeps < 2 {
-		qubitSweeps = 2
-	}
-	for sweep := 0; sweep < qubitSweeps; sweep++ {
-		for i := 0; i < n; i++ {
-			local := h[i]
-			for _, c := range adj[i] {
-				local += c.j * float64(spins[c.other])
-			}
-			dE := -2 * float64(spins[i]) * local
-			if dE <= 0 || s.Rng.Float64() < math.Exp(-sched.BetaMax*dE) {
-				spins[i] = -spins[i]
-			}
-		}
-	}
-
-	// Readout noise.
-	if s.Noise.ReadoutFlipProb > 0 {
-		for i := range spins {
-			if s.Rng.Float64() < s.Noise.ReadoutFlipProb {
-				spins[i] = -spins[i]
-			}
-		}
-	}
-
-	// Hardware energy of the read spins (with the true, unperturbed
-	// coefficients — that is what the device reports).
-	energy := ep.offset
-	for i := 0; i < n; i++ {
-		energy += ep.H[i] * float64(spins[i])
-		for _, c := range ep.adj[i] {
-			if c.other > i {
-				energy += c.j * float64(spins[i]) * float64(spins[c.other])
-			}
-		}
-	}
-
-	// Unembed: majority vote per chain (sorted node order keeps the
-	// tie-breaking RNG stream deterministic).
-	values := make(map[int]bool, len(ep.chains))
-	broken := 0
-	for _, node := range chainNodes {
-		ix := ep.chains[node]
-		up, down := 0, 0
-		for _, i := range ix {
-			if spins[i] > 0 {
-				up++
-			} else {
-				down++
-			}
-		}
-		if up > 0 && down > 0 {
-			broken++
-		}
-		switch {
-		case up > down:
-			values[node] = true
-		case down > up:
-			values[node] = false
-		default:
-			values[node] = s.Rng.Intn(2) == 0
-		}
-	}
-	return Sample{NodeValues: values, BrokenChains: broken, HardwareEnergy: energy}
 }
 
 // SampleLogical anneals a logical Ising model directly (no embedding): the

@@ -52,8 +52,7 @@ func AblationChainStrength(cfg Config) *Report {
 		if n < 10 {
 			n = 10
 		}
-		for i := 0; i < n; i++ {
-			sm := sampler.SampleOnce(ep)
+		for _, sm := range sampler.Sample(ep, n).Samples {
 			x := make([]bool, sub.NumNodes())
 			for node, v := range sm.NodeValues {
 				x[node] = v
@@ -104,8 +103,7 @@ func AblationSchedule(cfg Config) *Report {
 		if n < 10 {
 			n = 10
 		}
-		for i := 0; i < n; i++ {
-			sm := sampler.SampleOnce(ep)
+		for _, sm := range sampler.Sample(ep, n).Samples {
 			x := make([]bool, sub.NumNodes())
 			for node, v := range sm.NodeValues {
 				x[node] = v

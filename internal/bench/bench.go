@@ -30,6 +30,12 @@ type Config struct {
 	// EmbedTimeout bounds each baseline embedder run in the Fig 13
 	// comparison, in seconds (paper: 300; default 10).
 	EmbedTimeoutSec int
+	// Workers bounds the worker pool the iteration-count experiments
+	// (Table I/III, Fig 10/14) fan their independent instance runs across;
+	// 0 means runtime.NumCPU(). Per-instance seeds keep every report
+	// identical at any worker count. Wall-clock experiments ignore it and
+	// run serially — see parallelFor.
+	Workers int
 }
 
 // WithDefaults fills unset fields.

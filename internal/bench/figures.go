@@ -64,9 +64,9 @@ func Fig1(cfg Config) *Report {
 			is := norm.ToIsing()
 			ep := anneal.EmbedIsing(is, emb, g, anneal.ChainStrengthFor(is))
 			sampler := anneal.NewSampler(anneal.DefaultSchedule(), anneal.DWave2000QNoise, cfg.Seed)
+			reads := sampler.Sample(ep, 60) // one access, 60 parallel reads
 			solved := 0
-			for i := 0; i < 60; i++ {
-				s := sampler.SampleOnce(ep)
+			for _, s := range reads.Samples {
 				x := make([]bool, enc.NumNodes())
 				for n, v := range s.NodeValues {
 					x[n] = v
@@ -242,24 +242,44 @@ func Fig10(cfg Config) *Report {
 		hyqsat.Strategy4 | hyqsat.StrategyNone,
 		hyqsat.AllStrategies,
 	}
-	for _, fam := range gen.Families() {
-		n := familyCount(cfg, fam)
-		var cdcl []int64
-		for i := 0; i < n; i++ {
-			inst := fam.Make(i)
-			rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
-			cdcl = append(cdcl, rc.Stats.Iterations)
+	// One job per (family, instance): the classical baseline plus one hybrid
+	// run per strategy mask, fanned across the worker pool (per-instance
+	// seeds keep the figure identical at any worker count).
+	fams := gen.Families()
+	counts := make([]int, len(fams))
+	for f, fam := range fams {
+		counts[f] = familyCount(cfg, fam)
+	}
+	jobs := flattenJobs(counts)
+	type f10res struct {
+		cdcl  int64
+		iters []int64 // hybrid iterations per mask
+	}
+	results := make([]f10res, len(jobs))
+	parallelFor(cfg.Workers, len(jobs), func(j int) {
+		fam, i := fams[jobs[j].fam], jobs[j].inst
+		inst := fam.Make(i)
+		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+		r := f10res{cdcl: rc.Stats.Iterations, iters: make([]int64, len(masks))}
+		for mi, mask := range masks {
+			o := hyqsat.SimulatorOptions()
+			o.Seed = cfg.Seed + int64(i)
+			o.Strategies = mask
+			rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
+			r.iters[mi] = rh.Stats.SAT.Iterations
 		}
+		results[j] = r
+	})
+	for f, fam := range fams {
 		row := []interface{}{fam.Name}
-		for _, mask := range masks {
+		for mi := range masks {
 			var ratios []float64
-			for i := 0; i < n; i++ {
-				inst := fam.Make(i)
-				o := hyqsat.SimulatorOptions()
-				o.Seed = cfg.Seed + int64(i)
-				o.Strategies = mask
-				rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
-				ratios = append(ratios, float64(cdcl[i])/float64(maxI64(rh.Stats.SAT.Iterations, 1)))
+			for j, job := range jobs {
+				if job.fam != f {
+					continue
+				}
+				ratios = append(ratios,
+					float64(results[j].cdcl)/float64(maxI64(results[j].iters[mi], 1)))
 			}
 			row = append(row, mean(ratios))
 		}

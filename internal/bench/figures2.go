@@ -167,24 +167,43 @@ func Fig14(cfg Config) *Report {
 		Title:  "Clause queue generation ablation: activity/BFS vs random queue",
 		Header: []string{"Benchmark", "Activity queue red", "Random queue red", "Improvement"},
 	}
+	// One job per (family, instance): baseline + both queue modes, fanned
+	// across the worker pool (per-instance seeds keep the figure identical at
+	// any worker count).
+	fams := gen.Families()
+	counts := make([]int, len(fams))
+	for f, fam := range fams {
+		counts[f] = familyCount(cfg, fam)
+	}
+	jobs := flattenJobs(counts)
+	type f14res struct{ cdcl, act, rnd int64 }
+	results := make([]f14res, len(jobs))
+	parallelFor(cfg.Workers, len(jobs), func(j int) {
+		fam, i := fams[jobs[j].fam], jobs[j].inst
+		inst := fam.Make(i)
+		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+
+		oa := hyqsat.SimulatorOptions()
+		oa.Seed = cfg.Seed + int64(i)
+		ra := hyqsat.New(inst.Formula.Copy(), oa).Solve()
+
+		or := hyqsat.SimulatorOptions()
+		or.Seed = cfg.Seed + int64(i)
+		or.UseActivityQueue = false
+		rr := hyqsat.New(inst.Formula.Copy(), or).Solve()
+
+		results[j] = f14res{rc.Stats.Iterations, ra.Stats.SAT.Iterations, rr.Stats.SAT.Iterations}
+	})
 	var improvements []float64
-	for _, fam := range gen.Families() {
-		n := familyCount(cfg, fam)
+	for f, fam := range fams {
 		var act, rnd []float64
-		for i := 0; i < n; i++ {
-			inst := fam.Make(i)
-			rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
-
-			oa := hyqsat.SimulatorOptions()
-			oa.Seed = cfg.Seed + int64(i)
-			ra := hyqsat.New(inst.Formula.Copy(), oa).Solve()
-			act = append(act, float64(rc.Stats.Iterations)/float64(maxI64(ra.Stats.SAT.Iterations, 1)))
-
-			or := hyqsat.SimulatorOptions()
-			or.Seed = cfg.Seed + int64(i)
-			or.UseActivityQueue = false
-			rr := hyqsat.New(inst.Formula.Copy(), or).Solve()
-			rnd = append(rnd, float64(rc.Stats.Iterations)/float64(maxI64(rr.Stats.SAT.Iterations, 1)))
+		for j, job := range jobs {
+			if job.fam != f {
+				continue
+			}
+			r := results[j]
+			act = append(act, float64(r.cdcl)/float64(maxI64(r.act, 1)))
+			rnd = append(rnd, float64(r.cdcl)/float64(maxI64(r.rnd, 1)))
 		}
 		improvement := mean(act) / mean(rnd)
 		improvements = append(improvements, improvement)

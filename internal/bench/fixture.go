@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+
+	"hyqsat/internal/anneal"
+	"hyqsat/internal/chimera"
+	"hyqsat/internal/embed"
+	"hyqsat/internal/gen"
+	"hyqsat/internal/qubo"
+)
+
+// BuildSampleFixture builds a representative embedded problem — a random
+// 3-SAT instance pushed through the full frontend pipeline — for sampler
+// micro-benchmarks. The root BenchmarkSampleOnce/BenchmarkSamplerParallel and
+// cmd/benchreport share it so their numbers are comparable.
+func BuildSampleFixture(seed int64, numVars, numClauses int) (*anneal.EmbeddedProblem, error) {
+	inst := gen.SatisfiableRandom3SAT(numVars, numClauses, seed)
+	enc, err := qubo.Encode(inst.Formula.Clauses)
+	if err != nil {
+		return nil, err
+	}
+	g := chimera.DWave2000Q()
+	res := embed.Fast(enc, g)
+	if res.EmbeddedClauses == 0 {
+		return nil, fmt.Errorf("bench: no clause of the fixture embedded")
+	}
+	sub := enc.Restrict(res.EmbeddedSet)
+	sub.AdjustCoefficients()
+	norm, _ := sub.Poly.Normalized()
+	is := norm.ToIsing()
+	return anneal.EmbedIsing(is, res.Embedding, g, anneal.ChainStrengthFor(is)), nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across a worker pool bounded
+// by workers (0 means runtime.NumCPU()). Each index is executed exactly once;
+// callers write results into index-addressed slots, so the output is
+// independent of scheduling. Only experiments that measure iteration counts
+// use this — per-instance solver seeds make each job deterministic in
+// isolation, so a report is identical at any worker count. Experiments that
+// measure wall-clock time (Table II, Fig 1, Fig 11, Fig 12, Fig 13) stay
+// serial: concurrent solvers would contend for cores and skew exactly the
+// quantity being reported.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// instanceJobs flattens a per-family instance loop into a single job list so
+// parallelFor sees all independent (family, instance) pairs at once.
+type instanceJob struct {
+	fam  int // index into the family list
+	inst int // instance index within the family
+}
+
+func flattenJobs(counts []int) []instanceJob {
+	var jobs []instanceJob
+	for f, n := range counts {
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, instanceJob{f, i})
+		}
+	}
+	return jobs
+}

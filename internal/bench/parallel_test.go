@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"os"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hyqsat/internal/gen"
+	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/sat"
+)
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 37
+		var hits [n]atomic.Int32
+		parallelFor(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+	parallelFor(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestFlattenJobs(t *testing.T) {
+	jobs := flattenJobs([]int{2, 0, 1})
+	want := []instanceJob{{0, 0}, {0, 1}, {2, 0}}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Fatalf("jobs %v, want %v", jobs, want)
+	}
+}
+
+// TestParallelInstanceRunsDeterministic is the parallel-runner contract in
+// miniature: per-instance seeds make each (baseline, hybrid) job independent,
+// so the collected iteration counts are identical at any worker count. Under
+// -race this also exercises the concurrent instance runner the table/figure
+// experiments fan out on.
+func TestParallelInstanceRunsDeterministic(t *testing.T) {
+	const n = 6
+	run := func(workers int) [][2]int64 {
+		results := make([][2]int64, n)
+		parallelFor(workers, n, func(i int) {
+			inst := gen.SatisfiableRandom3SAT(25, 95, int64(i)+400)
+			rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+			o := hyqsat.SimulatorOptions()
+			o.Seed = int64(i)
+			rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
+			results[i] = [2]int64{rc.Stats.Iterations, rh.Stats.SAT.Iterations}
+		})
+		return results
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: results %v differ from serial %v", workers, got, serial)
+		}
+	}
+}
+
+// TestReportsIdenticalAcrossWorkerCounts re-runs the full parallelized
+// experiments at two worker counts and requires byte-identical reports.
+// A full Table 1 + Fig 14 double-run takes minutes, so it only executes when
+// HYQSAT_BENCH_FULL is set (check.sh documents the knob).
+func TestReportsIdenticalAcrossWorkerCounts(t *testing.T) {
+	if os.Getenv("HYQSAT_BENCH_FULL") == "" {
+		t.Skip("set HYQSAT_BENCH_FULL=1 to run the full report identity check")
+	}
+	for name, exp := range map[string]func(Config) *Report{"table1": Table1, "fig14": Fig14} {
+		cfg := tiny()
+		cfg.Workers = 1
+		serial := exp(cfg).String()
+		cfg.Workers = 4
+		parallel := exp(cfg).String()
+		if serial != parallel {
+			t.Fatalf("%s differs between 1 and 4 workers:\n--- serial ---\n%s--- parallel ---\n%s",
+				name, serial, parallel)
+		}
+	}
+}

@@ -31,20 +31,38 @@ func Table1(cfg Config) *Report {
 		Header: []string{"Benchmark", "#Prob", "CDCL #It", "HyQSAT #It",
 			"Avg red", "Geomean", "Max", "Min"},
 	}
+	fams := gen.Families()
+	counts := make([]int, len(fams))
+	for f, fam := range fams {
+		counts[f] = familyCount(cfg, fam)
+	}
+	// Every (family, instance) run is independent and seeded per instance, so
+	// the whole table fans out across the worker pool with unchanged rows.
+	jobs := flattenJobs(counts)
+	type t1res struct{ cdcl, hy int64 }
+	results := make([]t1res, len(jobs))
+	parallelFor(cfg.Workers, len(jobs), func(j int) {
+		fam, i := fams[jobs[j].fam], jobs[j].inst
+		inst := fam.Make(i)
+		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+		o := hyqsat.SimulatorOptions()
+		o.Seed = cfg.Seed + int64(i)
+		rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
+		results[j] = t1res{rc.Stats.Iterations, rh.Stats.SAT.Iterations}
+	})
 	var allRatios []float64
-	for _, fam := range gen.Families() {
-		n := familyCount(cfg, fam)
+	for f, fam := range fams {
+		n := counts[f]
 		var cdclTotal, hyTotal int64
 		var ratios []float64
-		for i := 0; i < n; i++ {
-			inst := fam.Make(i)
-			rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
-			o := hyqsat.SimulatorOptions()
-			o.Seed = cfg.Seed + int64(i)
-			rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
-			cdclTotal += rc.Stats.Iterations
-			hyTotal += rh.Stats.SAT.Iterations
-			ratio := float64(rc.Stats.Iterations) / float64(maxI64(rh.Stats.SAT.Iterations, 1))
+		for j, job := range jobs {
+			if job.fam != f {
+				continue
+			}
+			r := results[j]
+			cdclTotal += r.cdcl
+			hyTotal += r.hy
+			ratio := float64(r.cdcl) / float64(maxI64(r.hy, 1))
 			ratios = append(ratios, ratio)
 			allRatios = append(allRatios, ratio)
 		}
@@ -148,25 +166,45 @@ func Table3(cfg Config) *Report {
 		n:    1,
 	})
 
-	for _, b := range benches {
-		row := []interface{}{b.name}
-		var cdcl []int64
-		for i := 0; i < b.n; i++ {
-			inst := b.make(i)
-			rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
-			cdcl = append(cdcl, rc.Stats.Iterations)
+	// One job per (benchmark, instance): the classical baseline plus all four
+	// grid sizes. Jobs are independent and per-instance seeded, so the table
+	// is identical at any worker count.
+	counts := make([]int, len(benches))
+	for bi, b := range benches {
+		counts[bi] = b.n
+	}
+	jobs := flattenJobs(counts)
+	type t3res struct {
+		cdcl  int64
+		iters []int64 // hybrid iterations per grid
+	}
+	results := make([]t3res, len(jobs))
+	parallelFor(cfg.Workers, len(jobs), func(j int) {
+		b, i := benches[jobs[j].fam], jobs[j].inst
+		inst := b.make(i)
+		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+		r := t3res{cdcl: rc.Stats.Iterations, iters: make([]int64, len(grids))}
+		for gi, grid := range grids {
+			o := hyqsat.SimulatorOptions()
+			o.Seed = cfg.Seed + int64(i)
+			o.Hardware = chimera.New(grid, grid, 4)
+			o.Noise = anneal.Noise{ReadoutFlipProb: 0.10}
+			o.QueueLimit = 40 * grid // let bigger grids see longer queues
+			rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
+			r.iters[gi] = rh.Stats.SAT.Iterations
 		}
-		for _, grid := range grids {
+		results[j] = r
+	})
+	for bi, b := range benches {
+		row := []interface{}{b.name}
+		for gi := range grids {
 			var ratios []float64
-			for i := 0; i < b.n; i++ {
-				inst := b.make(i)
-				o := hyqsat.SimulatorOptions()
-				o.Seed = cfg.Seed + int64(i)
-				o.Hardware = chimera.New(grid, grid, 4)
-				o.Noise = anneal.Noise{ReadoutFlipProb: 0.10}
-				o.QueueLimit = 40 * grid // let bigger grids see longer queues
-				rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
-				ratios = append(ratios, float64(cdcl[i])/float64(maxI64(rh.Stats.SAT.Iterations, 1)))
+			for j, job := range jobs {
+				if job.fam != bi {
+					continue
+				}
+				ratios = append(ratios,
+					float64(results[j].cdcl)/float64(maxI64(results[j].iters[gi], 1)))
 			}
 			row = append(row, mean(ratios))
 		}

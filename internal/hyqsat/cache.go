@@ -1,0 +1,84 @@
+package hyqsat
+
+import (
+	"hyqsat/internal/anneal"
+	"hyqsat/internal/qubo"
+)
+
+// embedCache memoises the frontend pipeline (encode → fast-embed → restrict →
+// adjust → normalise → program) per clause queue. Queues repeat across warm-up
+// iterations — the activity queue is stable while CDCL works on one region of
+// the formula — and the pipeline output depends only on the queue indices (the
+// formula and options are fixed per solver), so a repeated queue can reuse its
+// EmbeddedProblem verbatim. EmbeddedProblem is read-only after EmbedIsing, so
+// a cached problem is safe to sample again, concurrently or not.
+type embedCache struct {
+	entries map[uint64]*embedCacheEntry
+	order   []uint64 // insertion order, for FIFO eviction
+	cap     int
+}
+
+type embedCacheEntry struct {
+	key      []int // the exact queue indices, to reject hash collisions
+	embEnc   *qubo.Encoding
+	ep       *anneal.EmbeddedProblem
+	embedded int // embedded clause count; 0 means "queue unusable, skip QA"
+}
+
+// embedCacheCap bounds the cache: queues beyond it evict the oldest entry.
+// Warm-ups revisit a small working set of queues, so a modest cap captures
+// nearly all repeats without holding every embedding of a long run alive.
+const embedCacheCap = 64
+
+func newEmbedCache() *embedCache {
+	return &embedCache{entries: make(map[uint64]*embedCacheEntry), cap: embedCacheCap}
+}
+
+// hashQueue folds the queue indices through the splitmix64 finaliser.
+func hashQueue(queueIdx []int) uint64 {
+	h := uint64(len(queueIdx)) + 0x9e3779b97f4a7c15
+	for _, ci := range queueIdx {
+		h ^= uint64(ci) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+	}
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+func sameQueue(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for the queue, or nil on a miss. A hash collision
+// with a different queue counts as a miss (store will overwrite the slot).
+func (c *embedCache) lookup(queueIdx []int) *embedCacheEntry {
+	ent, ok := c.entries[hashQueue(queueIdx)]
+	if !ok || !sameQueue(ent.key, queueIdx) {
+		return nil
+	}
+	return ent
+}
+
+// store records the pipeline output for the queue, evicting FIFO at capacity.
+func (c *embedCache) store(queueIdx []int, ent *embedCacheEntry) {
+	h := hashQueue(queueIdx)
+	if _, exists := c.entries[h]; !exists {
+		if len(c.order) >= c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, h)
+	}
+	ent.key = append([]int(nil), queueIdx...)
+	c.entries[h] = ent
+}

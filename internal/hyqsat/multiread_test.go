@@ -1,0 +1,157 @@
+package hyqsat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// TestMultiReadDeterministicAcrossWorkers pins the solver-level
+// reproducibility contract: with multi-read sampling enabled, the verdict,
+// model, and every hybrid counter are identical at any worker count.
+func TestMultiReadDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := random3SAT(rng, 30, 125)
+	run := func(workers int) Result {
+		o := simOpts(5)
+		o.NumReads = 6
+		o.SampleWorkers = workers
+		return New(f.Copy(), o).Solve()
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.Status != ref.Status {
+			t.Fatalf("workers=%d: status %v, serial %v", workers, got.Status, ref.Status)
+		}
+		if len(got.Model) != len(ref.Model) {
+			t.Fatalf("workers=%d: model length differs", workers)
+		}
+		for i := range got.Model {
+			if got.Model[i] != ref.Model[i] {
+				t.Fatalf("workers=%d: model differs at var %d", workers, i)
+			}
+		}
+		gs, rs := got.Stats, ref.Stats
+		if gs.QACalls != rs.QACalls || gs.QAReads != rs.QAReads ||
+			gs.WarmupIterations != rs.WarmupIterations ||
+			gs.EmbedCacheHits != rs.EmbedCacheHits ||
+			gs.EmbedCacheMisses != rs.EmbedCacheMisses ||
+			gs.Strategy1Hits != rs.Strategy1Hits ||
+			gs.Strategy2Hits != rs.Strategy2Hits ||
+			gs.Strategy3Hits != rs.Strategy3Hits ||
+			gs.Strategy4Hits != rs.Strategy4Hits ||
+			gs.BrokenChains != rs.BrokenChains {
+			t.Fatalf("workers=%d: hybrid counters differ from serial run:\n%+v\nvs\n%+v",
+				workers, gs, rs)
+		}
+	}
+}
+
+// TestMultiReadCountersAndDeviceTime checks that reads are counted and the
+// modelled device time charges a full multi-read access (programming once,
+// then NumReads anneal+readout cycles) per QA call.
+func TestMultiReadCountersAndDeviceTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	f := random3SAT(rng, 25, 100)
+	o := simOpts(7)
+	o.NumReads = 4
+	r := New(f, o).Solve()
+	st := r.Stats
+	if st.QACalls == 0 {
+		t.Fatal("no QA calls in a hybrid solve")
+	}
+	if st.QAReads != int64(st.QACalls)*4 {
+		t.Fatalf("QAReads = %d with %d calls at NumReads=4, want %d",
+			st.QAReads, st.QACalls, st.QACalls*4)
+	}
+	want := time.Duration(st.QACalls) * o.Timing.AccessTime(4)
+	if st.QADevice != want {
+		t.Fatalf("QADevice = %v, want %d×AccessTime(4) = %v", st.QADevice, st.QACalls, want)
+	}
+}
+
+// TestSingleReadDeviceTimeUnchanged pins the default: NumReads unset charges
+// exactly the paper's single-sample access per call, as before.
+func TestSingleReadDeviceTimeUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := random3SAT(rng, 20, 80)
+	o := simOpts(9)
+	r := New(f, o).Solve()
+	st := r.Stats
+	if st.QACalls == 0 {
+		t.Fatal("no QA calls in a hybrid solve")
+	}
+	if st.QAReads != int64(st.QACalls) {
+		t.Fatalf("QAReads = %d, want one per call (%d)", st.QAReads, st.QACalls)
+	}
+	if want := time.Duration(st.QACalls) * o.Timing.SampleTime(); st.QADevice != want {
+		t.Fatalf("QADevice = %v, want %v", st.QADevice, want)
+	}
+}
+
+// TestEmbedCacheCountersConsistent checks the cache bookkeeping: every QA
+// call went through exactly one lookup, and repeated queues actually hit.
+func TestEmbedCacheCountersConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	f := random3SAT(rng, 20, 85)
+	o := simOpts(3)
+	o.WarmupIterations = 200 // enough iterations for queue repeats
+	r := New(f, o).Solve()
+	st := r.Stats
+	lookups := st.EmbedCacheHits + st.EmbedCacheMisses
+	if lookups < st.QACalls {
+		t.Fatalf("cache lookups %d < QA calls %d", lookups, st.QACalls)
+	}
+	if st.EmbedCacheMisses == 0 && lookups > 0 {
+		t.Fatal("cache reported hits with no prior misses")
+	}
+	if r.Status == sat.Sat && !cnf.FromBools(r.Model[:f.NumVars]).Satisfies(f) {
+		t.Fatal("invalid model")
+	}
+}
+
+// TestEmbedCacheUnit exercises lookup, store, collision-by-value rejection,
+// and FIFO eviction directly.
+func TestEmbedCacheUnit(t *testing.T) {
+	c := newEmbedCache()
+	c.cap = 3
+	q1, q2 := []int{1, 2, 3}, []int{1, 2, 4}
+	if c.lookup(q1) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	e1 := &embedCacheEntry{embedded: 1}
+	c.store(q1, e1)
+	if got := c.lookup(q1); got != e1 {
+		t.Fatal("stored entry not found")
+	}
+	if c.lookup(q2) != nil {
+		t.Fatal("different queue must miss")
+	}
+	// Stored keys are copies: mutating the caller's slice must not corrupt.
+	q1[0] = 99
+	if c.lookup([]int{1, 2, 3}) != e1 {
+		t.Fatal("cache key aliased caller slice")
+	}
+	// FIFO eviction at capacity.
+	c.store([]int{5}, &embedCacheEntry{})
+	c.store([]int{6}, &embedCacheEntry{})
+	c.store([]int{7}, &embedCacheEntry{}) // evicts q1
+	if c.lookup([]int{1, 2, 3}) != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if c.lookup([]int{5}) == nil || c.lookup([]int{6}) == nil || c.lookup([]int{7}) == nil {
+		t.Fatal("recent entries evicted")
+	}
+	// Restoring an existing key must not evict anything.
+	c.store([]int{5}, &embedCacheEntry{embedded: 2})
+	if got := c.lookup([]int{5}); got == nil || got.embedded != 2 {
+		t.Fatal("re-store did not replace entry")
+	}
+	if c.lookup([]int{6}) == nil || c.lookup([]int{7}) == nil {
+		t.Fatal("re-store evicted another entry")
+	}
+}

@@ -74,6 +74,14 @@ type Options struct {
 	// ChainStrengthMult scales the ferromagnetic chain coupling relative to
 	// anneal.ChainStrengthFor's default (1.0).
 	ChainStrengthMult float64
+	// NumReads is the number of device reads per QA access (default 1, the
+	// paper's single-sample mode). With more reads the backend classifies the
+	// best-energy read, and modelled device time is charged per AccessTime —
+	// programming once, then NumReads anneal+readout cycles.
+	NumReads int
+	// SampleWorkers bounds the worker pool fanning reads out in parallel;
+	// 0 means runtime.NumCPU(). Results never depend on it.
+	SampleWorkers int
 	// Seed drives all stochastic choices.
 	Seed int64
 
@@ -122,6 +130,9 @@ func (o Options) withDefaults() Options {
 	if o.ChainStrengthMult == 0 {
 		o.ChainStrengthMult = 1
 	}
+	if o.NumReads == 0 {
+		o.NumReads = 1
+	}
 	o.defaulted = true
 	return o
 }
@@ -154,8 +165,14 @@ type Stats struct {
 
 	WarmupIterations int // hybrid iterations executed
 	QACalls          int
+	QAReads          int64 // device reads drawn across all QA calls
 	EmbeddedClauses  int64 // cumulative clauses accelerated on QA
 	BrokenChains     int64
+
+	// Frontend embedding-cache counters: a hit skips the whole
+	// encode → embed → program pipeline for a repeated clause queue.
+	EmbedCacheHits   int
+	EmbedCacheMisses int
 
 	Strategy1Hits int
 	Strategy2Hits int
@@ -196,6 +213,7 @@ type Solver struct {
 	sat     *sat.Solver
 	varAdj  [][]int
 	sampler *anneal.Sampler
+	cache   *embedCache
 	stats   Stats
 
 	// belief accumulates the most recent QA value of every variable that
@@ -223,8 +241,10 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		sat:     sat.New(f3, cdclOpts),
 		varAdj:  cnf.VarAdjacency(f3),
 		sampler: anneal.NewSampler(opts.Schedule, opts.Noise, opts.Seed^0x3c3c3c),
+		cache:   newEmbedCache(),
 		belief:  cnf.NewAssignment(f3.NumVars),
 	}
+	s.sampler.Workers = opts.SampleWorkers
 	if opts.SelfCertify {
 		s.recorder = verify.NewRecorder()
 	}
@@ -354,36 +374,29 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	} else {
 		queueIdx = RandomQueue(unsat, s.opts.QueueLimit, s.rng)
 	}
-	queue := make([]cnf.Clause, len(queueIdx))
-	for i, ci := range queueIdx {
-		queue[i] = s.formula.Clauses[ci]
+	ent := s.cache.lookup(queueIdx)
+	if ent != nil {
+		s.stats.EmbedCacheHits++
+	} else {
+		s.stats.EmbedCacheMisses++
+		ent = s.encodeAndEmbed(queueIdx)
+		s.cache.store(queueIdx, ent)
 	}
-	enc, err := qubo.Encode(queue)
-	if err != nil {
-		// Defensive: 3-CNF conversion guarantees encodable clauses.
+	if ent.embedded == 0 {
 		s.stats.Frontend += time.Since(start)
 		return s.stepCDCL()
 	}
-	fastRes := embed.Fast(enc, s.opts.Hardware)
-	if fastRes.EmbeddedClauses == 0 {
-		s.stats.Frontend += time.Since(start)
-		return s.stepCDCL()
-	}
-	embEnc := enc.Restrict(fastRes.EmbeddedSet)
-	if s.opts.AdjustCoefficients {
-		embEnc.AdjustCoefficients()
-	}
-	norm, _ := embEnc.Poly.Normalized()
-	ising := norm.ToIsing()
-	ep := anneal.EmbedIsing(ising, fastRes.Embedding, s.opts.Hardware,
-		s.opts.ChainStrengthMult*anneal.ChainStrengthFor(ising))
-	s.stats.EmbeddedClauses += int64(fastRes.EmbeddedClauses)
+	embEnc, ep := ent.embEnc, ent.ep
+	s.stats.EmbeddedClauses += int64(ent.embedded)
 	s.stats.Frontend += time.Since(start)
 
-	// --- QA: a single sample; device time is modelled ---
-	sample := s.sampler.SampleOnce(ep)
+	// --- QA: NumReads samples from one programmed problem; the backend
+	// interprets the best-energy read; device time is modelled ---
+	reads := s.sampler.Sample(ep, s.opts.NumReads)
+	sample := reads.BestSample()
 	s.stats.QACalls++
-	s.stats.QADevice += s.opts.Timing.SampleTime()
+	s.stats.QAReads += int64(len(reads.Samples))
+	s.stats.QADevice += s.opts.Timing.AccessTime(len(reads.Samples))
 	s.stats.BrokenChains += int64(sample.BrokenChains)
 
 	// --- Backend: interpret energy, apply a feedback strategy ---
@@ -398,7 +411,7 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	class := s.opts.Partition.Classify(energy)
 	qaAssign := embEnc.AssignmentFromNodes(x, s.formula.NumVars)
 
-	allEmbedded := fastRes.EmbeddedClauses == len(unsat)
+	allEmbedded := ent.embedded == len(unsat)
 	switch {
 	case class == gnb.Satisfiable && allEmbedded && s.opts.Strategies&Strategy1 != 0:
 		// Strategy 1: candidate full solution. Verify before terminating —
@@ -465,6 +478,37 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	s.stats.Backend += time.Since(start)
 
 	return s.stepCDCL()
+}
+
+// encodeAndEmbed runs the frontend pipeline for one clause queue: QUBO
+// encoding, fast embedding, restriction to the embedded clause set,
+// coefficient adjustment, normalisation, and programming onto the hardware
+// graph. Its output is immutable and memoised in the embedding cache; an
+// entry with embedded == 0 records an unusable queue (encode failure or no
+// embeddable clause) so repeats skip straight to CDCL.
+func (s *Solver) encodeAndEmbed(queueIdx []int) *embedCacheEntry {
+	queue := make([]cnf.Clause, len(queueIdx))
+	for i, ci := range queueIdx {
+		queue[i] = s.formula.Clauses[ci]
+	}
+	enc, err := qubo.Encode(queue)
+	if err != nil {
+		// Defensive: 3-CNF conversion guarantees encodable clauses.
+		return &embedCacheEntry{}
+	}
+	fastRes := embed.Fast(enc, s.opts.Hardware)
+	if fastRes.EmbeddedClauses == 0 {
+		return &embedCacheEntry{}
+	}
+	embEnc := enc.Restrict(fastRes.EmbeddedSet)
+	if s.opts.AdjustCoefficients {
+		embEnc.AdjustCoefficients()
+	}
+	norm, _ := embEnc.Poly.Normalized()
+	ising := norm.ToIsing()
+	ep := anneal.EmbedIsing(ising, fastRes.Embedding, s.opts.Hardware,
+		s.opts.ChainStrengthMult*anneal.ChainStrengthFor(ising))
+	return &embedCacheEntry{embEnc: embEnc, ep: ep, embedded: fastRes.EmbeddedClauses}
 }
 
 // fullModel extends the QA assignment with the current trail and saved
