@@ -11,11 +11,21 @@ go build ./...
 go vet ./...
 go test -race ./...
 # Targeted race runs on the concurrency-bearing packages: parallel Sample,
-# the embedding cache under the hybrid loop, and the bench worker pool.
-go test -race -count=1 ./internal/anneal ./internal/hyqsat ./internal/bench
+# the embedding cache under the hybrid loop, the bench worker pool, the
+# telemetry sinks (emitted into from sampler workers and race entrants), and
+# the portfolio race itself.
+go test -race -count=1 ./internal/anneal ./internal/hyqsat ./internal/bench ./internal/obs ./internal/portfolio
 go test -run='^$' -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/cnf
 go test -run='^$' -fuzz=FuzzEncodeClause -fuzztime=10s ./internal/qubo
 go test -run='^$' -fuzz=FuzzProofCheck -fuzztime=10s ./internal/verify
+# Telemetry gates: the sweep kernel keeps its 0 allocs/op contract with the
+# no-op tracer installed, and stays within 1% ns/op of the untraced kernel
+# (in-process interleaved benchmark; opt-in via the env var).
+go test -run='TestSampleIntoZeroAllocsWithNopTracer|TestSampleOnceSteadyStateAllocs' -count=1 ./internal/anneal .
+HYQSAT_PERF_GATE=1 go test -run=TestNopTracerKernelOverhead -count=1 -v ./internal/anneal
+# Trace round-trip smoke: record a real solve with -trace, then replay the
+# JSONL through the obs reader (exercised end-to-end by the CLI test).
+go test -run='TestCLITraceStreamReconstructsFigures|TestCLIFlightRecorder' -count=1 ./cmd/hyqsat
 # Sampler perf smoke: the kernel must stay 0 allocs/op, and the baseline
 # file tracks the numbers this host produced.
 go test -run='^$' -bench=BenchmarkSampleOnce -benchmem -benchtime=10x .

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"hyqsat/internal/bench"
+	"hyqsat/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	timeout := flag.Int("embed-timeout", 0, "per-embedding timeout in seconds for fig13 (default 10; paper 300)")
 	workers := flag.Int("workers", 0, "worker pool for the iteration-count experiments (0 = NumCPU); reports are identical at any count")
+	metricsAddr := flag.String("metrics-addr", "", "serve live job progress (/metrics, /debug/vars) on this address while experiments run")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -38,6 +40,16 @@ func main() {
 		EmbedTimeoutSec:   *timeout,
 		Workers:           *workers,
 	}.WithDefaults()
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, obs.Handler(cfg.Metrics, nil, nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s\n", srv.Addr)
+	}
 
 	if *only == "" {
 		for _, rep := range bench.All(cfg) {

@@ -5,6 +5,8 @@
 //
 //	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N]
 //	       [-reads N] [-stats] [-proof file.drat] [-verify]
+//	       [-trace out.jsonl] [-metrics-addr host:port] [-flight-recorder N]
+//	       [-max-conflicts N]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] file.cnf
 //
 // With no file, the formula is read from stdin. Exit status follows the SAT
@@ -19,6 +21,20 @@
 // models are checked against the formula and UNSAT proofs replayed through
 // the RUP checker. A verdict that fails certification exits 1.
 //
+// -trace streams a structured JSONL event log of the solve (conflicts,
+// restarts, QA calls with per-read energies, embeddings, strategy outcomes,
+// phase spans); internal/obs.ReadJSONL parses it back and PhaseBreakdown /
+// OutcomeCounts reconstruct the paper's Fig 11 and Fig 9 views from it.
+//
+// -metrics-addr serves live introspection while the solve runs: /metrics
+// (Prometheus text format), /debug/vars (expvar), /solve/status (JSON
+// snapshot of the in-flight solve), /trace/flight (flight-recorder dump).
+//
+// -flight-recorder keeps the last N trace events in a ring buffer and dumps
+// them to stderr when the solve ends without a model (UNSAT, budget
+// exhaustion) or panics — the tail of the event stream that led to the bad
+// end, without the cost of a full trace file.
+//
 // -cpuprofile / -memprofile write pprof profiles covering the solve (CPU
 // profiling brackets it; the heap profile is snapshotted right after),
 // inspectable with `go tool pprof`.
@@ -32,9 +48,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/portfolio"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
@@ -57,6 +75,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	proofPath := fs.String("proof", "", "write a DRAT proof to this file")
 	verifyFlag := fs.Bool("verify", false, "self-certify the verdict before reporting it")
 	reads := fs.Int("reads", 0, "QA reads per anneal access for hyqsat (default 1; best-energy read is used)")
+	tracePath := fs.String("trace", "", "write a JSONL event trace of the solve to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve live introspection (/metrics, /solve/status, ...) on this address")
+	flightN := fs.Int("flight-recorder", 0, "keep the last N trace events; dump to stderr on UNSAT/UNKNOWN or panic")
+	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget; report UNKNOWN once exhausted (0 = unlimited)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the solve to this file")
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +114,55 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			f.Close()
 		}()
 	}
+
+	// Telemetry plumbing: the JSONL sink (-trace) and the flight-recorder ring
+	// (-flight-recorder) tee into one tracer; the registry backs /metrics and
+	// the -stats summary. All of it stays disabled-by-default: without the
+	// flags the solvers see the Nop tracer and pay only Enabled() branches.
+	var sinks []obs.Tracer
+	var sink *obs.JSONLSink
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		defer tf.Close()
+		sink = obs.NewJSONLSink(tf)
+		defer sink.Flush()
+		sinks = append(sinks, sink)
+	}
+	var ring *obs.Ring
+	if *flightN > 0 {
+		ring = obs.NewRing(*flightN)
+		sinks = append(sinks, ring)
+	}
+	tracer := obs.Tee(sinks...)
+	reg := obs.NewRegistry()
+	var statusVar obs.StatusVar
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Handler(reg, ring, &statusVar))
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "c metrics listening on http://%s\n", srv.Addr)
+	}
+	dumpFlight := func(why string) {
+		if ring == nil || ring.Len() == 0 {
+			return
+		}
+		fmt.Fprintf(stderr, "c flight recorder (%s): last %d of %d events\n",
+			why, ring.Len(), ring.Total())
+		if err := ring.Dump(stderr); err != nil {
+			fmt.Fprintln(stderr, "hyqsat: flight dump:", err)
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			dumpFlight("panic")
+			panic(p)
+		}
+	}()
 
 	in := stdin
 	if fs.NArg() > 0 {
@@ -150,7 +221,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			opts = sat.KissatOptions()
 		}
 		opts.Seed = *seed
+		opts.MaxConflicts = *maxConflicts
 		s := sat.New(formula, opts)
+		s.SetTracer(tracer)
+		iters := reg.Gauge("cdcl_iterations")
+		s.SetMetrics(sat.Metrics{
+			ConflictDepth: reg.Histogram("cdcl_conflict_depth", obs.ExpBuckets(1, 2, 10)),
+			LearntLen:     reg.Histogram("cdcl_learnt_clause_len", obs.ExpBuckets(1, 2, 8)),
+			Iterations:    iters,
+		})
+		statusVar.Set(func() map[string]any {
+			return map[string]any{"solver": *solver, "iterations": iters.Value()}
+		})
 		if hook != nil {
 			s.SetProofWriter(hook)
 		}
@@ -174,7 +256,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opts.Seed = *seed
 		opts.Proof = hook
 		opts.NumReads = *reads
+		opts.Trace = tracer
+		opts.Metrics = reg
+		opts.CDCL.MaxConflicts = *maxConflicts
 		h := hyqsat.New(formula, opts)
+		statusVar.Set(h.LiveStatus)
 		r := h.Solve()
 		status, assignment = r.Status, r.Model
 		if *verifyFlag {
@@ -187,21 +273,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "c proof premise is the 3-CNF form of the input")
 		}
 		if *stats {
-			st := r.Stats
-			fmt.Fprintf(stdout, "c iterations=%d warmup=%d qacalls=%d reads=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
-				st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.QAReads, st.EmbeddedClauses,
-				st.Strategy1Hits, st.Strategy2Hits, st.Strategy3Hits, st.Strategy4Hits)
-			fmt.Fprintf(stdout, "c embedcache hits=%d misses=%d\n",
-				st.EmbedCacheHits, st.EmbedCacheMisses)
-			fmt.Fprintf(stdout, "c frontend=%v qadevice=%v backend=%v cdcl=%v total=%v\n",
-				st.Frontend, st.QADevice, st.Backend, st.CDCL, st.Total())
+			printHybridStats(stdout, r.Stats)
 		}
 	case "portfolio":
-		race := portfolio.Solve
-		if *verifyFlag {
-			race = portfolio.SolveCertified
-		}
-		out, err := race(context.Background(), formula, portfolio.DefaultEntrants(*seed))
+		out, err := portfolio.SolveWith(context.Background(), formula,
+			portfolio.DefaultEntrants(*seed),
+			portfolio.RaceOptions{Certify: *verifyFlag, Trace: tracer})
 		if err != nil {
 			return fail(err)
 		}
@@ -216,6 +293,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if *verifyFlag && status != sat.Unknown {
 		fmt.Fprintln(stdout, "c verdict certified")
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintln(stderr, "hyqsat: trace:", err)
+		}
 	}
 
 	switch status {
@@ -235,11 +317,46 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 10
 	case sat.Unsat:
 		fmt.Fprintln(stdout, "s UNSATISFIABLE")
+		dumpFlight("unsat")
 		return 20
 	default:
 		fmt.Fprintln(stdout, "s UNKNOWN")
+		dumpFlight("unknown")
 		return 0
 	}
+}
+
+// printHybridStats renders the end-of-solve summary for the hybrid solver.
+// Stats is a view over the solver's metrics registry, so every number here is
+// also available live on /metrics during the solve; this is the human-facing
+// rendering: counters first, then the Fig 11 phase breakdown with shares of
+// the modelled end-to-end time.
+func printHybridStats(w io.Writer, st hyqsat.Stats) {
+	fmt.Fprintf(w, "c iterations=%d warmup=%d qacalls=%d reads=%d embedded=%d s1=%d s2=%d s3=%d s4=%d\n",
+		st.SAT.Iterations, st.WarmupIterations, st.QACalls, st.QAReads, st.EmbeddedClauses,
+		st.Strategy1Hits, st.Strategy2Hits, st.Strategy3Hits, st.Strategy4Hits)
+	lookups := st.EmbedCacheHits + st.EmbedCacheMisses
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = 100 * float64(st.EmbedCacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "c embedcache hits=%d misses=%d (%.0f%% hit rate)\n",
+		st.EmbedCacheHits, st.EmbedCacheMisses, hitRate)
+	fmt.Fprintf(w, "c cdcl conflicts=%d restarts=%d learned=%d brokenchains=%d\n",
+		st.SAT.Conflicts, st.SAT.Restarts, st.SAT.Learned, st.BrokenChains)
+	total := st.Total()
+	fmt.Fprintf(w, "c phase breakdown (total %v):\n", total)
+	row := func(name string, d time.Duration, note string) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(w, "c   %-9s %12v %5.1f%%%s\n", name, d, share, note)
+	}
+	row("frontend", st.Frontend, "")
+	row("qa-device", st.QADevice, "  (modelled)")
+	row("backend", st.Backend, "")
+	row("cdcl", st.CDCL, "")
 }
 
 // proofSinkOrNil / recorderOrNil avoid the non-nil interface around a nil

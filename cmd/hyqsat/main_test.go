@@ -1,13 +1,20 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"hyqsat/internal/cnf"
+	"hyqsat/internal/gen"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/verify"
 )
 
@@ -161,4 +168,154 @@ func TestCLIProfilesWritten(t *testing.T) {
 	if code, _, _ := runCLI(t, []string{"-cpuprofile", "/nonexistent/dir/x.pprof"}, satCNF); code != 1 {
 		t.Fatalf("unwritable cpuprofile path: code=%d, want 1", code)
 	}
+}
+
+// mediumCNF renders a satisfiable 30-var random 3-SAT instance to DIMACS —
+// big enough that the hybrid warmup actually exercises the QA loop, so a
+// trace of it carries qa_call/strategy/phase events.
+func mediumCNF(t *testing.T) string {
+	t.Helper()
+	inst := gen.SatisfiableRandom3SAT(30, 120, 9)
+	var sb strings.Builder
+	if err := cnf.WriteDIMACS(&sb, inst.Formula); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCLITraceStreamReconstructsFigures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "hyqsat", "-mode", "sim", "-trace", path, "-stats"},
+		mediumCNF(t))
+	if code != 10 {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "phase breakdown") {
+		t.Fatalf("-stats summary missing phase breakdown: %q", out)
+	}
+	tf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := obs.ReadJSONL(tf)
+	if err != nil {
+		t.Fatalf("trace unparseable: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	bd := obs.PhaseBreakdown(events)
+	for _, phase := range []string{"frontend", "backend", "cdcl", "qa_device"} {
+		if bd[phase] <= 0 {
+			t.Errorf("phase %q missing from trace breakdown %v", phase, bd)
+		}
+	}
+	oc := obs.OutcomeCounts(events)
+	if len(oc) == 0 {
+		t.Errorf("no outcome classes in trace")
+	}
+}
+
+func TestCLIFlightRecorderDumpsOnBudgetExhaustion(t *testing.T) {
+	// One conflict is forced immediately on the xor-square but cannot finish
+	// the refutation, so the budget expires with the verdict still open.
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "minisat", "-max-conflicts", "1", "-flight-recorder", "16"},
+		unsatCNF)
+	if code != 0 || !strings.Contains(out, "s UNKNOWN") {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "c flight recorder (unknown)") {
+		t.Fatalf("stderr missing flight dump header: %q", errOut)
+	}
+	// The dump itself must be a parseable JSONL tail.
+	_, rest, ok := strings.Cut(errOut, "events\n")
+	if !ok {
+		t.Fatalf("no dump after header: %q", errOut)
+	}
+	events, err := obs.ReadJSONL(strings.NewReader(rest))
+	if err != nil || len(events) == 0 {
+		t.Fatalf("flight dump unparseable: events=%d err=%v", len(events), err)
+	}
+}
+
+func TestCLIFlightRecorderDumpsOnUnsat(t *testing.T) {
+	_, _, errOut := runCLI(t,
+		[]string{"-solver", "hyqsat", "-mode", "sim", "-flight-recorder", "8"}, unsatCNF)
+	if !strings.Contains(errOut, "c flight recorder (unsat)") {
+		t.Fatalf("stderr missing unsat flight dump: %q", errOut)
+	}
+}
+
+func TestCLIMetricsAddrServesLiveEndpoints(t *testing.T) {
+	// The CLI advertises the bound address on stderr before solving; a helper
+	// goroutine watches for that line through a pipe and scrapes the endpoints
+	// while the solve runs. The status provider is bound shortly after the
+	// advertisement, so the status scrape retries briefly until it reports a
+	// live solve.
+	pr, pw := io.Pipe()
+	type scrape struct {
+		metrics string
+		status  string
+		err     error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		defer io.Copy(io.Discard, pr) // keep later stderr writes from blocking
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			addr, ok := strings.CutPrefix(sc.Text(), "c metrics listening on http://")
+			if !ok {
+				continue
+			}
+			var s scrape
+			s.metrics, s.err = httpGet(addr + "/metrics")
+			for i := 0; i < 100 && s.err == nil; i++ {
+				s.status, s.err = httpGet(addr + "/solve/status")
+				if strings.Contains(s.status, `"state":"solving"`) {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			got <- s
+			return
+		}
+		got <- scrape{err: fmt.Errorf("no listening line on stderr")}
+	}()
+
+	var out bytes.Buffer
+	code := run([]string{"-solver", "hyqsat", "-mode", "sim", "-metrics-addr", "127.0.0.1:0"},
+		strings.NewReader(mediumCNF(t)), &out, pw)
+	pw.Close()
+	if code != 10 {
+		t.Fatalf("code=%d out=%q", code, out.String())
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("scrape: %v", s.err)
+	}
+	if !strings.Contains(s.metrics, "hyqsat_qa_calls") {
+		t.Fatalf("/metrics missing solver counters: %q", s.metrics)
+	}
+	if !strings.Contains(s.status, `"state":"solving"`) {
+		t.Fatalf("/solve/status not live: %q", s.status)
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get("http://" + url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != 200 {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return string(body), nil
 }

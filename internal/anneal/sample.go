@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"hyqsat/internal/obs"
 )
 
 // Sampler draws samples from embedded problems.
@@ -22,6 +24,14 @@ type Sampler struct {
 	// Workers bounds the worker pool used by Sample; 0 means
 	// runtime.NumCPU(). The sampled values do not depend on it.
 	Workers int
+	// Trace, when non-nil and enabled, receives one QACallEvent per Sample
+	// call with the per-read energies and chain-break counts. Tracing never
+	// touches the sweep kernel (SampleInto stays 0 allocs/op) and never
+	// consumes sampler randomness, so sampled values are unchanged.
+	Trace obs.Tracer
+	// Timing, when set, stamps QACallEvents with the modelled device time of
+	// the access. It does not affect sampling.
+	Timing TimingModel
 
 	seed    int64
 	calls   atomic.Int64
@@ -135,6 +145,23 @@ func (s *Sampler) Sample(ep *EmbeddedProblem, numReads int) ReadSet {
 		if samples[i].HardwareEnergy < samples[best].HardwareEnergy {
 			best = i
 		}
+	}
+	if s.Trace != nil && s.Trace.Enabled() {
+		energies := make([]float64, len(samples))
+		broken := make([]int, len(samples))
+		for i := range samples {
+			energies[i] = samples[i].HardwareEnergy
+			broken[i] = samples[i].BrokenChains
+		}
+		s.Trace.Emit(obs.QACallEvent{
+			Call:         call,
+			Reads:        numReads,
+			Energies:     energies,
+			BrokenChains: broken,
+			Chains:       len(ep.chainNodes),
+			Best:         best,
+			DeviceNs:     s.Timing.AccessTime(numReads).Nanoseconds(),
+		})
 	}
 	return ReadSet{Samples: samples, Best: best}
 }

@@ -11,6 +11,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"hyqsat/internal/obs"
 )
 
 // Config scales the experiments. The paper's instance counts (e.g. 100
@@ -36,6 +38,11 @@ type Config struct {
 	// identical at any worker count. Wall-clock experiments ignore it and
 	// run serially — see parallelFor.
 	Workers int
+	// Metrics, when non-nil, receives live progress of the fanned-out
+	// experiments: per-experiment bench_<id>_jobs_total /_jobs_done and a
+	// job-latency histogram, so a long run can be watched over the
+	// introspection endpoints. Nil disables progress accounting entirely.
+	Metrics *obs.Registry
 }
 
 // WithDefaults fills unset fields.

@@ -256,7 +256,7 @@ func Fig10(cfg Config) *Report {
 		iters []int64 // hybrid iterations per mask
 	}
 	results := make([]f10res, len(jobs))
-	parallelFor(cfg.Workers, len(jobs), func(j int) {
+	parallelFor(cfg.Workers, len(jobs), jobProgress(cfg.Metrics, "fig10", len(jobs), func(j int) {
 		fam, i := fams[jobs[j].fam], jobs[j].inst
 		inst := fam.Make(i)
 		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
@@ -269,7 +269,7 @@ func Fig10(cfg Config) *Report {
 			r.iters[mi] = rh.Stats.SAT.Iterations
 		}
 		results[j] = r
-	})
+	}))
 	for f, fam := range fams {
 		row := []interface{}{fam.Name}
 		for mi := range masks {

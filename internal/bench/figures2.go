@@ -178,7 +178,7 @@ func Fig14(cfg Config) *Report {
 	jobs := flattenJobs(counts)
 	type f14res struct{ cdcl, act, rnd int64 }
 	results := make([]f14res, len(jobs))
-	parallelFor(cfg.Workers, len(jobs), func(j int) {
+	parallelFor(cfg.Workers, len(jobs), jobProgress(cfg.Metrics, "fig14", len(jobs), func(j int) {
 		fam, i := fams[jobs[j].fam], jobs[j].inst
 		inst := fam.Make(i)
 		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
@@ -193,7 +193,7 @@ func Fig14(cfg Config) *Report {
 		rr := hyqsat.New(inst.Formula.Copy(), or).Solve()
 
 		results[j] = f14res{rc.Stats.Iterations, ra.Stats.SAT.Iterations, rr.Stats.SAT.Iterations}
-	})
+	}))
 	var improvements []float64
 	for f, fam := range fams {
 		var act, rnd []float64

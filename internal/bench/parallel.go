@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hyqsat/internal/obs"
 )
 
 // parallelFor runs fn(i) for every i in [0, n) across a worker pool bounded
@@ -44,6 +47,27 @@ func parallelFor(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// jobProgress wraps a parallelFor body with live progress accounting in reg:
+// bench_<label>_jobs_total (gauge), bench_<label>_jobs_done (counter) and a
+// per-job latency histogram. With a nil registry the body is returned
+// unwrapped, so experiments pay nothing unless progress was asked for.
+func jobProgress(reg *obs.Registry, label string, n int, fn func(i int)) func(i int) {
+	if reg == nil {
+		return fn
+	}
+	reg.Gauge("bench_" + label + "_jobs_total").Set(int64(n))
+	done := reg.Counter("bench_" + label + "_jobs_done")
+	// Jobs range from milliseconds (small random instances) to minutes
+	// (pigeonhole grids), so buckets span 1ms..~4.5min geometrically.
+	lat := reg.Histogram("bench_"+label+"_job_latency_ns", obs.ExpBuckets(1e6, 4, 10))
+	return func(i int) {
+		t0 := time.Now()
+		fn(i)
+		lat.Observe(float64(time.Since(t0).Nanoseconds()))
+		done.Inc()
+	}
 }
 
 // instanceJobs flattens a per-family instance loop into a single job list so

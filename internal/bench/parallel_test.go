@@ -8,6 +8,7 @@ import (
 
 	"hyqsat/internal/gen"
 	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/sat"
 )
 
@@ -79,4 +80,27 @@ func TestReportsIdenticalAcrossWorkerCounts(t *testing.T) {
 				name, serial, parallel)
 		}
 	}
+}
+
+func TestJobProgressAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	var ran atomic.Int32
+	fn := jobProgress(reg, "t", 5, func(i int) { ran.Add(1) })
+	parallelFor(3, 5, fn)
+	if ran.Load() != 5 {
+		t.Fatalf("body ran %d times, want 5", ran.Load())
+	}
+	if got := reg.Gauge("bench_t_jobs_total").Value(); got != 5 {
+		t.Fatalf("jobs_total = %d, want 5", got)
+	}
+	if got := reg.Counter("bench_t_jobs_done").Value(); got != 5 {
+		t.Fatalf("jobs_done = %d, want 5", got)
+	}
+	if got := reg.Histogram("bench_t_job_latency_ns", nil).Count(); got != 5 {
+		t.Fatalf("latency observations = %d, want 5", got)
+	}
+
+	// A nil registry returns the body unwrapped — zero accounting overhead.
+	plain := jobProgress(nil, "x", 1, func(i int) {})
+	plain(0)
 }

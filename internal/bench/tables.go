@@ -41,7 +41,7 @@ func Table1(cfg Config) *Report {
 	jobs := flattenJobs(counts)
 	type t1res struct{ cdcl, hy int64 }
 	results := make([]t1res, len(jobs))
-	parallelFor(cfg.Workers, len(jobs), func(j int) {
+	parallelFor(cfg.Workers, len(jobs), jobProgress(cfg.Metrics, "table1", len(jobs), func(j int) {
 		fam, i := fams[jobs[j].fam], jobs[j].inst
 		inst := fam.Make(i)
 		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
@@ -49,7 +49,7 @@ func Table1(cfg Config) *Report {
 		o.Seed = cfg.Seed + int64(i)
 		rh := hyqsat.New(inst.Formula.Copy(), o).Solve()
 		results[j] = t1res{rc.Stats.Iterations, rh.Stats.SAT.Iterations}
-	})
+	}))
 	var allRatios []float64
 	for f, fam := range fams {
 		n := counts[f]
@@ -179,7 +179,7 @@ func Table3(cfg Config) *Report {
 		iters []int64 // hybrid iterations per grid
 	}
 	results := make([]t3res, len(jobs))
-	parallelFor(cfg.Workers, len(jobs), func(j int) {
+	parallelFor(cfg.Workers, len(jobs), jobProgress(cfg.Metrics, "table3", len(jobs), func(j int) {
 		b, i := benches[jobs[j].fam], jobs[j].inst
 		inst := b.make(i)
 		rc := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
@@ -194,7 +194,7 @@ func Table3(cfg Config) *Report {
 			r.iters[gi] = rh.Stats.SAT.Iterations
 		}
 		results[j] = r
-	})
+	}))
 	for bi, b := range benches {
 		row := []interface{}{b.name}
 		for gi := range grids {

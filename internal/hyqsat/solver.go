@@ -1,6 +1,7 @@
 package hyqsat
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/embed"
 	"hyqsat/internal/gnb"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/qubo"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
@@ -95,6 +97,18 @@ type Options struct {
 	// The outcome lands in Result.Certified / Result.CertErr.
 	SelfCertify bool
 
+	// Trace, when non-nil and enabled, receives the structured solve-event
+	// stream: conflicts and restarts from the CDCL core, per-read QA
+	// sampling outcomes, embed and strategy events, and phase spans.
+	// Implementations must be safe for concurrent use. Nil disables tracing
+	// with zero overhead beyond a branch per emission site.
+	Trace obs.Tracer
+	// Metrics, when non-nil, is the registry the solver registers its
+	// counters, gauges and histograms in (so several components can share
+	// one registry behind one /metrics endpoint). Nil creates a private
+	// registry, retrievable via Solver.Metrics().
+	Metrics *obs.Registry
+
 	// set by New to note which defaults were applied
 	defaulted bool
 }
@@ -160,6 +174,9 @@ func HardwareOptions() Options {
 }
 
 // Stats aggregates the hybrid solve counters and the Fig 11 time breakdown.
+// It is a point-in-time view over the solver's metrics registry (every field
+// is backed by a registry counter or phase-span total), kept as a plain
+// struct for the bench harness and callers that predate the registry.
 type Stats struct {
 	SAT sat.Stats // underlying CDCL counters at termination
 
@@ -214,7 +231,14 @@ type Solver struct {
 	varAdj  [][]int
 	sampler *anneal.Sampler
 	cache   *embedCache
-	stats   Stats
+
+	// Telemetry: every counter of the former Stats struct lives in the
+	// registry now (Stats() reads them back); phase time accounting goes
+	// through the span tracker, which also asserts span disjointness.
+	reg    *obs.Registry
+	trace  obs.Tracer // never nil; Nop when disabled
+	phases *obs.PhaseTracker
+	m      solverMetrics
 
 	// belief accumulates the most recent QA value of every variable that
 	// appeared in a (near-)satisfiable sample — the "maintained assignment"
@@ -223,6 +247,62 @@ type Solver struct {
 
 	// recorder captures the CDCL proof trace when SelfCertify is on.
 	recorder *verify.Recorder
+}
+
+// Phase indices of the measured Fig 11 phases (QA device time is modelled,
+// not measured, and charged to a plain counter instead of a span).
+const (
+	phaseFrontend = iota
+	phaseBackend
+	phaseCDCL
+)
+
+// solverMetrics holds the registry handles the hybrid loop updates. All
+// updates are atomic, so a live introspection endpoint may read them while
+// the solve runs.
+type solverMetrics struct {
+	warmup      *obs.Counter
+	qaCalls     *obs.Counter
+	qaReads     *obs.Counter
+	embedded    *obs.Counter
+	broken      *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	strat       [4]*obs.Counter
+	qaDeviceNs  *obs.Counter
+
+	iteration  *obs.Gauge // hybrid warm-up iterations so far
+	queueDepth *obs.Gauge // clause-queue length of the latest frontend pass
+	cdclIters  *obs.Gauge // live CDCL iteration count
+
+	readEnergy *obs.Histogram // hardware energy per QA read
+	chainBreak *obs.Histogram // broken-chain fraction per QA read
+}
+
+func newSolverMetrics(reg *obs.Registry) solverMetrics {
+	m := solverMetrics{
+		warmup:      reg.Counter("hyqsat_warmup_iterations"),
+		qaCalls:     reg.Counter("hyqsat_qa_calls"),
+		qaReads:     reg.Counter("hyqsat_qa_reads"),
+		embedded:    reg.Counter("hyqsat_embedded_clauses"),
+		broken:      reg.Counter("hyqsat_broken_chains"),
+		cacheHits:   reg.Counter("hyqsat_embed_cache_hits"),
+		cacheMisses: reg.Counter("hyqsat_embed_cache_misses"),
+		qaDeviceNs:  reg.Counter("hyqsat_phase_qa_device_ns"),
+		iteration:   reg.Gauge("hyqsat_iteration"),
+		queueDepth:  reg.Gauge("hyqsat_queue_depth"),
+		cdclIters:   reg.Gauge("hyqsat_cdcl_iterations"),
+		// Energy buckets follow the gnb partition landmarks (0 / 4.5 / 8);
+		// chain-break fraction is bucketed in tenths.
+		readEnergy: reg.Histogram("hyqsat_qa_read_energy",
+			[]float64{0, 1, 2, 4.5, 8, 16, 32, 64, 128}),
+		chainBreak: reg.Histogram("hyqsat_chain_break_fraction",
+			obs.LinearBuckets(0, 0.1, 11)),
+	}
+	for i := range m.strat {
+		m.strat[i] = reg.Counter(fmt.Sprintf("hyqsat_strategy%d_hits", i+1))
+	}
+	return m
 }
 
 // New builds a hybrid solver. Formulas with clauses longer than three
@@ -245,6 +325,32 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		belief:  cnf.NewAssignment(f3.NumVars),
 	}
 	s.sampler.Workers = opts.SampleWorkers
+
+	// Telemetry wiring: one registry and one tracer reach every layer of the
+	// pipeline (CDCL core, sampler, hybrid loop). Tracing and metrics never
+	// consume randomness or alter control flow, so solver output is
+	// bit-identical with or without them.
+	s.reg = opts.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.trace = opts.Trace
+	if s.trace == nil {
+		s.trace = obs.Nop()
+	}
+	s.m = newSolverMetrics(s.reg)
+	s.phases = obs.NewPhaseTracker(s.reg, s.trace, "hyqsat_", "frontend", "backend", "cdcl")
+	s.sat.SetTracer(s.trace)
+	s.sat.SetMetrics(sat.Metrics{
+		ConflictDepth: s.reg.Histogram("hyqsat_conflict_depth",
+			obs.ExpBuckets(1, 2, 10)),
+		LearntLen: s.reg.Histogram("hyqsat_learnt_clause_len",
+			obs.ExpBuckets(1, 2, 8)),
+		Iterations: s.m.cdclIters,
+	})
+	s.sampler.Trace = s.trace
+	s.sampler.Timing = opts.Timing
+
 	if opts.SelfCertify {
 		s.recorder = verify.NewRecorder()
 	}
@@ -283,11 +389,70 @@ func (s *Solver) WarmupBudget() int {
 	return w
 }
 
-// Stats returns a copy of the hybrid counters accumulated so far.
+// Stats returns the hybrid counters accumulated so far, read back from the
+// metrics registry (the struct is a view; the registry is the source of
+// truth). Safe to call after Solve; during a solve, use LiveStatus or the
+// registry directly (SAT sub-stats are not atomics).
 func (s *Solver) Stats() Stats {
-	st := s.stats
-	st.SAT = s.sat.Stats()
+	st := Stats{
+		SAT:              s.sat.Stats(),
+		WarmupIterations: int(s.m.warmup.Value()),
+		QACalls:          int(s.m.qaCalls.Value()),
+		QAReads:          s.m.qaReads.Value(),
+		EmbeddedClauses:  s.m.embedded.Value(),
+		BrokenChains:     s.m.broken.Value(),
+		EmbedCacheHits:   int(s.m.cacheHits.Value()),
+		EmbedCacheMisses: int(s.m.cacheMisses.Value()),
+		Strategy1Hits:    int(s.m.strat[0].Value()),
+		Strategy2Hits:    int(s.m.strat[1].Value()),
+		Strategy3Hits:    int(s.m.strat[2].Value()),
+		Strategy4Hits:    int(s.m.strat[3].Value()),
+		Frontend:         s.phases.Total(phaseFrontend),
+		Backend:          s.phases.Total(phaseBackend),
+		CDCL:             s.phases.Total(phaseCDCL),
+		QADevice:         time.Duration(s.m.qaDeviceNs.Value()),
+	}
 	return st
+}
+
+// Metrics returns the solver's metrics registry — the live counters, gauges
+// and histograms behind Stats, suitable for serving via obs.Handler.
+func (s *Solver) Metrics() *obs.Registry { return s.reg }
+
+// PhaseOverlaps returns how many phase-span disjointness violations the
+// tracker observed; a correct loop keeps this at zero (the Fig 11 phases
+// then sum without double counting).
+func (s *Solver) PhaseOverlaps() int64 { return s.phases.Overlaps() }
+
+// LiveStatus is a race-safe snapshot of the in-flight solve for the
+// /solve/status endpoint: it reads only atomics, so it may be called from a
+// serving goroutine while Solve runs.
+func (s *Solver) LiveStatus() map[string]any {
+	return map[string]any{
+		"iteration":        s.m.iteration.Value(),
+		"warmup_budget":    s.WarmupBudget(),
+		"queue_depth":      s.m.queueDepth.Value(),
+		"cdcl_iterations":  s.m.cdclIters.Value(),
+		"qa_calls":         s.m.qaCalls.Value(),
+		"qa_reads":         s.m.qaReads.Value(),
+		"embedded_clauses": s.m.embedded.Value(),
+		"embed_cache": map[string]int64{
+			"hits":   s.m.cacheHits.Value(),
+			"misses": s.m.cacheMisses.Value(),
+		},
+		"strategy_hits": map[string]int64{
+			"s1": s.m.strat[0].Value(),
+			"s2": s.m.strat[1].Value(),
+			"s3": s.m.strat[2].Value(),
+			"s4": s.m.strat[3].Value(),
+		},
+		"phase_ns": map[string]int64{
+			"frontend":  int64(s.phases.Total(phaseFrontend)),
+			"backend":   int64(s.phases.Total(phaseBackend)),
+			"cdcl":      int64(s.phases.Total(phaseCDCL)),
+			"qa_device": s.m.qaDeviceNs.Value(),
+		},
+	}
 }
 
 // SATSolver exposes the underlying CDCL solver (for instrumentation).
@@ -308,10 +473,11 @@ func (s *Solver) Solve() Result {
 			return res
 		}
 	}
-	// Remaining iterations: classic CDCL.
-	start := time.Now()
+	// Remaining iterations: classic CDCL, one span for the whole tail (the
+	// sat.Metrics iteration gauge keeps live status fresh meanwhile).
+	sp := s.phases.Start(phaseCDCL)
 	r := s.sat.Solve()
-	s.stats.CDCL += time.Since(start)
+	sp.End()
 	return s.finish(r.Status, r.Model)
 }
 
@@ -356,15 +522,17 @@ func (s *Solver) Certificate() *verify.Certificate {
 // hybridIteration runs one warm-up iteration: frontend → QA → backend →
 // one CDCL step. It reports completion via done.
 func (s *Solver) hybridIteration() (done bool, res Result) {
-	s.stats.WarmupIterations++
+	s.m.warmup.Inc()
+	iteration := s.m.warmup.Value()
+	s.m.iteration.Set(iteration)
 
 	// --- Frontend: clause queue → embedding → coefficients ---
-	start := time.Now()
+	span := s.phases.Start(phaseFrontend)
 	unsat := s.sat.UnsatisfiedClauses()
 	if len(unsat) == 0 {
 		// Current assignment satisfies everything the decision trail covers;
 		// let CDCL finish (it will extend and terminate).
-		s.stats.Frontend += time.Since(start)
+		span.End()
 		return s.stepCDCL()
 	}
 	var queueIdx []int
@@ -374,33 +542,55 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	} else {
 		queueIdx = RandomQueue(unsat, s.opts.QueueLimit, s.rng)
 	}
+	s.m.queueDepth.Set(int64(len(queueIdx)))
 	ent := s.cache.lookup(queueIdx)
-	if ent != nil {
-		s.stats.EmbedCacheHits++
+	cacheHit := ent != nil
+	if cacheHit {
+		s.m.cacheHits.Inc()
 	} else {
-		s.stats.EmbedCacheMisses++
+		s.m.cacheMisses.Inc()
 		ent = s.encodeAndEmbed(queueIdx)
 		s.cache.store(queueIdx, ent)
 	}
+	if s.trace.Enabled() {
+		ev := obs.EmbedEvent{
+			Iteration:      iteration,
+			QueueLen:       len(queueIdx),
+			Embedded:       ent.embedded,
+			CacheHit:       cacheHit,
+			HardwareQubits: s.opts.Hardware.NumQubits(),
+		}
+		if ent.ep != nil {
+			ev.ActiveQubits = ent.ep.NumActiveQubits()
+		}
+		s.trace.Emit(ev)
+	}
 	if ent.embedded == 0 {
-		s.stats.Frontend += time.Since(start)
+		span.End()
 		return s.stepCDCL()
 	}
 	embEnc, ep := ent.embEnc, ent.ep
-	s.stats.EmbeddedClauses += int64(ent.embedded)
-	s.stats.Frontend += time.Since(start)
+	s.m.embedded.Add(int64(ent.embedded))
+	span.End()
 
 	// --- QA: NumReads samples from one programmed problem; the backend
-	// interprets the best-energy read; device time is modelled ---
+	// interprets the best-energy read; device time is modelled (charged to a
+	// counter, not a measured span — the sampler emits the QACallEvent) ---
 	reads := s.sampler.Sample(ep, s.opts.NumReads)
 	sample := reads.BestSample()
-	s.stats.QACalls++
-	s.stats.QAReads += int64(len(reads.Samples))
-	s.stats.QADevice += s.opts.Timing.AccessTime(len(reads.Samples))
-	s.stats.BrokenChains += int64(sample.BrokenChains)
+	s.m.qaCalls.Inc()
+	s.m.qaReads.Add(int64(len(reads.Samples)))
+	s.m.qaDeviceNs.Add(s.opts.Timing.AccessTime(len(reads.Samples)).Nanoseconds())
+	s.m.broken.Add(int64(sample.BrokenChains))
+	for i := range reads.Samples {
+		s.m.readEnergy.Observe(reads.Samples[i].HardwareEnergy)
+		if chains := len(reads.Samples[i].NodeValues); chains > 0 {
+			s.m.chainBreak.Observe(float64(reads.Samples[i].BrokenChains) / float64(chains))
+		}
+	}
 
 	// --- Backend: interpret energy, apply a feedback strategy ---
-	start = time.Now()
+	span = s.phases.Start(phaseBackend)
 	x := make([]bool, embEnc.NumNodes())
 	for node, v := range sample.NodeValues {
 		if node < len(x) {
@@ -412,14 +602,28 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	qaAssign := embEnc.AssignmentFromNodes(x, s.formula.NumVars)
 
 	allEmbedded := ent.embedded == len(unsat)
+	// emitStrategy records the Fig 9 outcome classification of this QA
+	// access and which feedback strategy fired on it (0 = none/masked).
+	emitStrategy := func(strategy int) {
+		if s.trace.Enabled() {
+			s.trace.Emit(obs.StrategyHitEvent{
+				Iteration:   iteration,
+				Class:       class.String(),
+				Strategy:    strategy,
+				Energy:      energy,
+				AllEmbedded: allEmbedded,
+			})
+		}
+	}
 	switch {
 	case class == gnb.Satisfiable && allEmbedded && s.opts.Strategies&Strategy1 != 0:
 		// Strategy 1: candidate full solution. Verify before terminating —
 		// clauses outside the unsat set are satisfied by the current trail,
 		// which the QA assignment must not contradict.
-		s.stats.Strategy1Hits++
+		s.m.strat[0].Inc()
+		emitStrategy(1)
 		if model, ok := s.fullModel(qaAssign); ok {
-			s.stats.Backend += time.Since(start)
+			span.End()
 			return true, s.finish(sat.Sat, model)
 		}
 		// Not a full model: still use it as guidance (strategy 2 behaviour).
@@ -432,7 +636,8 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 		// (Fig 9a): the embedded variables take their QA phases and are
 		// decided next (highest-activity first), so the sub-solution is
 		// tested as a unit instead of being rediscovered by search.
-		s.stats.Strategy2Hits++
+		s.m.strat[1].Inc()
+		emitStrategy(2)
 		for v, val := range qaAssign {
 			if val != cnf.Undef {
 				s.belief[v] = val
@@ -463,19 +668,25 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 		}
 	case class == gnb.Uncertain:
 		// Strategy 3: no usable signal.
-		s.stats.Strategy3Hits++
+		s.m.strat[2].Inc()
+		emitStrategy(3)
 	case class == gnb.NearUnsatisfiable && s.opts.Strategies&Strategy4 != 0:
 		// Strategy 4: the embedded clauses conflict under any assignment —
 		// decide their variables first to reach the conflict quickly.
-		s.stats.Strategy4Hits++
+		s.m.strat[3].Inc()
+		emitStrategy(4)
 		vars := make([]cnf.Var, 0, len(embEnc.VarNode))
 		for v := range embEnc.VarNode {
 			vars = append(vars, v)
 		}
 		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
 		s.sat.PrioritizeVars(vars)
+	default:
+		// The class's feedback strategy is disabled by the ablation mask;
+		// still record the outcome so Fig 9 counts stay complete.
+		emitStrategy(0)
 	}
-	s.stats.Backend += time.Since(start)
+	span.End()
 
 	return s.stepCDCL()
 }
@@ -531,9 +742,9 @@ func (s *Solver) fullModel(qa cnf.Assignment) ([]bool, bool) {
 
 // stepCDCL advances the classical search by one iteration.
 func (s *Solver) stepCDCL() (bool, Result) {
-	start := time.Now()
+	span := s.phases.Start(phaseCDCL)
 	st := s.sat.Step()
-	s.stats.CDCL += time.Since(start)
+	span.End()
 	switch st {
 	case sat.StepSat:
 		return true, s.finish(sat.Sat, s.sat.Model())

@@ -1,0 +1,128 @@
+// Package obs is the solve-trace telemetry layer of the reproduction: a
+// structured event tracer for the hybrid solve pipeline, a stdlib-only
+// metrics registry (counters, gauges, fixed-bucket histograms with atomic
+// updates), and live HTTP introspection endpoints.
+//
+// The package is deliberately dependency-free (stdlib only) and sits below
+// every solver package: internal/sat emits conflict/restart events,
+// internal/anneal emits per-read QA sampling outcomes, internal/hyqsat emits
+// embed/strategy events and phase spans, and internal/portfolio emits race
+// progress. The paper's evaluation aggregates (Fig 11 phase breakdown, Fig 9
+// outcome classification, Table III iteration counts) are reconstructible
+// from a recorded trace — see PhaseBreakdown and OutcomeCounts in replay.go.
+//
+// Overhead contract: with tracing disabled (the Nop tracer, or a nil tracer
+// at the emission sites) no events are constructed, so hot paths — in
+// particular the internal/anneal sweep kernel — stay zero-allocation.
+// Emission sites guard with Tracer.Enabled() before building an event.
+package obs
+
+// Event is one structured solve event. Implementations are small value types
+// that encode losslessly to JSON; Kind returns the stable type tag used as
+// the "t" field of the JSONL envelope.
+type Event interface {
+	Kind() string
+}
+
+// ConflictEvent records one CDCL conflict: the running conflict count, the
+// decision level the conflict occurred at (conflict depth), the learnt
+// clause's length and LBD, and the backjump target level. A root-level
+// conflict (unsatisfiability established) has LearntLen 0.
+type ConflictEvent struct {
+	Conflicts int64 `json:"conflicts"`
+	Level     int   `json:"level"`
+	LearntLen int   `json:"learnt_len"`
+	LBD       int   `json:"lbd"`
+	Backjump  int   `json:"backjump"`
+}
+
+// Kind implements Event.
+func (ConflictEvent) Kind() string { return "conflict" }
+
+// RestartEvent records one CDCL restart.
+type RestartEvent struct {
+	Restarts  int64 `json:"restarts"`
+	Conflicts int64 `json:"conflicts"`
+}
+
+// Kind implements Event.
+func (RestartEvent) Kind() string { return "restart" }
+
+// QACallEvent records one multi-read device access: per-read hardware
+// energies and chain-break counts (the diagnostic signals of annealer-backed
+// solving), the chain count of the embedded problem (so chain-break
+// fractions are reconstructible), the best-energy read index, and the
+// modelled device time charged for the access.
+type QACallEvent struct {
+	Call         int64     `json:"call"`
+	Reads        int       `json:"reads"`
+	Energies     []float64 `json:"energies"`
+	BrokenChains []int     `json:"broken_chains"`
+	Chains       int       `json:"chains"`
+	Best         int       `json:"best"`
+	DeviceNs     int64     `json:"device_ns"`
+}
+
+// Kind implements Event.
+func (QACallEvent) Kind() string { return "qa_call" }
+
+// EmbedEvent records one frontend embedding step: the clause-queue length,
+// how many clauses were embedded (0 = unusable queue, skipped to CDCL),
+// whether the embedding cache served the queue, and the hardware cell usage
+// (active qubits out of the hardware graph's qubits).
+type EmbedEvent struct {
+	Iteration      int64 `json:"iteration"`
+	QueueLen       int   `json:"queue_len"`
+	Embedded       int   `json:"embedded"`
+	CacheHit       bool  `json:"cache_hit"`
+	ActiveQubits   int   `json:"active_qubits"`
+	HardwareQubits int   `json:"hardware_qubits"`
+}
+
+// Kind implements Event.
+func (EmbedEvent) Kind() string { return "embed" }
+
+// StrategyHitEvent records the backend's classification of one QA access
+// (the Fig 9 outcome taxonomy) and which feedback strategy fired on it.
+// Strategy is 1, 2, 3 or 4 per the paper, or 0 when the class's strategy was
+// disabled by the ablation mask. One event is emitted per QA-guided
+// iteration, so class counts over a trace reconstruct Fig 9.
+type StrategyHitEvent struct {
+	Iteration   int64   `json:"iteration"`
+	Class       string  `json:"class"`
+	Strategy    int     `json:"strategy"`
+	Energy      float64 `json:"energy"`
+	AllEmbedded bool    `json:"all_embedded"`
+}
+
+// Kind implements Event.
+func (StrategyHitEvent) Kind() string { return "strategy" }
+
+// PhaseSpan records one contiguous stay in a pipeline phase, with monotonic
+// start/end offsets (nanoseconds since the phase tracker's origin). Spans of
+// the same tracker are disjoint by construction — the tracker counts any
+// overlap as a violation (see PhaseTracker).
+type PhaseSpan struct {
+	Phase   string `json:"phase"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// Kind implements Event.
+func (PhaseSpan) Kind() string { return "phase_span" }
+
+// Duration returns the span length in nanoseconds.
+func (p PhaseSpan) Duration() int64 { return p.EndNs - p.StartNs }
+
+// PortfolioEvent records portfolio-race progress: an entrant starting a
+// conflict-budget window ("window"), finishing with a verdict ("sat",
+// "unsat", "error"), or being declared the race winner ("winner").
+type PortfolioEvent struct {
+	Entrant string `json:"entrant"`
+	Status  string `json:"status"`
+	Budget  int64  `json:"budget,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Kind implements Event.
+func (PortfolioEvent) Kind() string { return "portfolio" }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReadJSONL decodes a JSONL event stream (as written by JSONLSink or
+// Ring.Dump) back into stamped, concretely-typed events. Events with an
+// unknown type tag are skipped — a newer trace stays readable by an older
+// reader — but malformed lines are errors.
+func ReadJSONL(r io.Reader) ([]Stamped, error) {
+	type rawStamped struct {
+		T  string          `json:"t"`
+		TS int64           `json:"ts"`
+		E  json.RawMessage `json:"e"`
+	}
+	var out []Stamped
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var raw rawStamped
+		if err := json.Unmarshal(text, &raw); err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		ev, err := decodeEvent(raw.T, raw.E)
+		if err != nil {
+			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if ev == nil {
+			continue // unknown kind
+		}
+		out = append(out, Stamped{T: raw.T, TS: raw.TS, E: ev})
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// decodeEvent maps a type tag back to its concrete event type. Unknown tags
+// return (nil, nil).
+func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
+	unmarshal := func(v Event) (Event, error) {
+		if err := json.Unmarshal(raw, v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	switch kind {
+	case "conflict":
+		e, err := unmarshal(&ConflictEvent{})
+		return deref(e, err)
+	case "restart":
+		e, err := unmarshal(&RestartEvent{})
+		return deref(e, err)
+	case "qa_call":
+		e, err := unmarshal(&QACallEvent{})
+		return deref(e, err)
+	case "embed":
+		e, err := unmarshal(&EmbedEvent{})
+		return deref(e, err)
+	case "strategy":
+		e, err := unmarshal(&StrategyHitEvent{})
+		return deref(e, err)
+	case "phase_span":
+		e, err := unmarshal(&PhaseSpan{})
+		return deref(e, err)
+	case "portfolio":
+		e, err := unmarshal(&PortfolioEvent{})
+		return deref(e, err)
+	}
+	return nil, nil
+}
+
+// deref turns the pointer the decoder needed back into the value type the
+// emitters use, so replayed events compare equal to the originals.
+func deref(e Event, err error) (Event, error) {
+	if err != nil {
+		return nil, err
+	}
+	switch v := e.(type) {
+	case *ConflictEvent:
+		return *v, nil
+	case *RestartEvent:
+		return *v, nil
+	case *QACallEvent:
+		return *v, nil
+	case *EmbedEvent:
+		return *v, nil
+	case *StrategyHitEvent:
+		return *v, nil
+	case *PhaseSpan:
+		return *v, nil
+	case *PortfolioEvent:
+		return *v, nil
+	}
+	return e, nil
+}
+
+// PhaseBreakdown reconstructs the Fig 11 time breakdown from a trace: the
+// summed duration of every phase's spans, plus the modelled QA device time
+// from QACallEvents under the "qa_device" key.
+func PhaseBreakdown(events []Stamped) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, ev := range events {
+		switch e := ev.E.(type) {
+		case PhaseSpan:
+			out[e.Phase] += time.Duration(e.Duration())
+		case QACallEvent:
+			out["qa_device"] += time.Duration(e.DeviceNs)
+		}
+	}
+	return out
+}
+
+// OutcomeCounts reconstructs the Fig 9 classification histogram from a
+// trace: how many QA accesses landed in each energy class.
+func OutcomeCounts(events []Stamped) map[string]int {
+	out := map[string]int{}
+	for _, ev := range events {
+		if e, ok := ev.E.(StrategyHitEvent); ok {
+			out[e.Class]++
+		}
+	}
+	return out
+}

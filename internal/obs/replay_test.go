@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseBreakdownIncludesDeviceTime(t *testing.T) {
+	events := []Stamped{
+		{T: "phase_span", E: PhaseSpan{Phase: "frontend", StartNs: 0, EndNs: 1000}},
+		{T: "phase_span", E: PhaseSpan{Phase: "cdcl", StartNs: 1000, EndNs: 4000}},
+		{T: "phase_span", E: PhaseSpan{Phase: "frontend", StartNs: 4000, EndNs: 4500}},
+		{T: "qa_call", E: QACallEvent{DeviceNs: 131000}},
+		{T: "qa_call", E: QACallEvent{DeviceNs: 131000}},
+	}
+	bd := PhaseBreakdown(events)
+	want := map[string]time.Duration{
+		"frontend":  1500 * time.Nanosecond,
+		"cdcl":      3000 * time.Nanosecond,
+		"qa_device": 262 * time.Microsecond,
+	}
+	for k, v := range want {
+		if bd[k] != v {
+			t.Errorf("%s = %v, want %v", k, bd[k], v)
+		}
+	}
+}
+
+func TestOutcomeCounts(t *testing.T) {
+	events := []Stamped{
+		{T: "strategy", E: StrategyHitEvent{Class: "satisfiable", Strategy: 1}},
+		{T: "strategy", E: StrategyHitEvent{Class: "satisfiable", Strategy: 1}},
+		{T: "strategy", E: StrategyHitEvent{Class: "uncertain", Strategy: 3}},
+		{T: "conflict", E: ConflictEvent{}},
+	}
+	oc := OutcomeCounts(events)
+	if oc["satisfiable"] != 2 || oc["uncertain"] != 1 || len(oc) != 2 {
+		t.Fatalf("OutcomeCounts = %v", oc)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StatusVar is a swappable provider for the /solve/status endpoint. The CLI
+// starts the introspection server before the solver exists and binds the
+// provider once the solve is set up; until then the endpoint reports idle.
+type StatusVar struct {
+	v atomic.Value // func() map[string]any
+}
+
+// Set installs the status provider. The function must be safe to call from
+// the HTTP serving goroutine while the solve runs (read only atomics).
+func (s *StatusVar) Set(f func() map[string]any) { s.v.Store(f) }
+
+func (s *StatusVar) get() map[string]any {
+	if s == nil {
+		return map[string]any{"state": "idle"}
+	}
+	if f, ok := s.v.Load().(func() map[string]any); ok && f != nil {
+		st := f()
+		if st == nil {
+			st = map[string]any{}
+		}
+		st["state"] = "solving"
+		return st
+	}
+	return map[string]any{"state": "idle"}
+}
+
+// expvarReg mirrors the most recently served registry into the process-wide
+// expvar namespace (expvar.Publish is global and permanent, so the handle is
+// swappable and published exactly once).
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("hyqsat", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the live-introspection mux:
+//
+//	/metrics       the registry in Prometheus text format
+//	/debug/vars    expvar (cmdline, memstats, and the registry under "hyqsat")
+//	/solve/status  JSON snapshot of the in-flight solve (status provider)
+//	/trace/flight  the flight-recorder ring as JSONL (404 without a ring)
+//
+// Any argument may be nil; the corresponding endpoint degrades gracefully.
+func Handler(reg *Registry, ring *Ring, status *StatusVar) http.Handler {
+	if reg != nil {
+		publishExpvar(reg)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if reg == nil {
+			return
+		}
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/solve/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(status.get())
+	})
+	mux.HandleFunc("/trace/flight", func(w http.ResponseWriter, req *http.Request) {
+		if ring == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = ring.Dump(w)
+	})
+	return mux
+}
+
+// Server is a live introspection HTTP server.
+type Server struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts an HTTP server for h on addr (host:port; ":0" picks a free
+// port) and returns once it is listening. Serving happens on a background
+// goroutine; Close shuts it down.
+func Serve(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	body, _ := io.ReadAll(w.Result().Body)
+	return w.Result().StatusCode, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("qa_calls").Add(7)
+	h := Handler(reg, nil, nil)
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, "qa_calls 7") {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+}
+
+func TestHandlerStatus(t *testing.T) {
+	var status StatusVar
+	h := Handler(NewRegistry(), nil, &status)
+
+	code, body := get(t, h, "/solve/status")
+	var st map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &st) != nil {
+		t.Fatalf("code=%d body=%q", code, body)
+	}
+	if st["state"] != "idle" {
+		t.Fatalf("unbound status = %v, want idle", st)
+	}
+
+	status.Set(func() map[string]any { return map[string]any{"iteration": int64(42)} })
+	_, body = get(t, h, "/solve/status")
+	if json.Unmarshal([]byte(body), &st) != nil {
+		t.Fatalf("bad status JSON: %q", body)
+	}
+	if st["state"] != "solving" || st["iteration"] != float64(42) {
+		t.Fatalf("bound status = %v", st)
+	}
+}
+
+func TestHandlerFlight(t *testing.T) {
+	noRing := Handler(NewRegistry(), nil, nil)
+	if code, _ := get(t, noRing, "/trace/flight"); code != 404 {
+		t.Fatalf("flight without ring: code=%d, want 404", code)
+	}
+
+	ring := NewRing(4)
+	ring.Emit(RestartEvent{Restarts: 1})
+	h := Handler(NewRegistry(), ring, nil)
+	code, body := get(t, h, "/trace/flight")
+	if code != 200 {
+		t.Fatalf("flight code=%d", code)
+	}
+	events, err := ReadJSONL(strings.NewReader(body))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("flight body events=%d err=%v body=%q", len(events), err, body)
+	}
+}
+
+func TestHandlerExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("iteration").Set(5)
+	h := Handler(reg, nil, nil)
+	code, body := get(t, h, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("expvar code=%d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	hy, ok := vars["hyqsat"].(map[string]any)
+	if !ok {
+		t.Fatalf("expvar missing hyqsat section: %v", vars["hyqsat"])
+	}
+	gauges, _ := hy["gauges"].(map[string]any)
+	if gauges["iteration"] != float64(5) {
+		t.Fatalf("expvar gauges = %v", gauges)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	srv, err := Serve("127.0.0.1:0", Handler(reg, nil, nil))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "up 1") {
+		t.Fatalf("code=%d body=%q", resp.StatusCode, body)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
 )
@@ -147,13 +148,24 @@ func (e ErrUncertified) Error() string {
 
 func (e ErrUncertified) Unwrap() error { return e.Reason }
 
+// RaceOptions configures SolveWith.
+type RaceOptions struct {
+	// Certify requires DRAT-backed Unsat verdicts (see SolveCertified).
+	Certify bool
+	// Trace, when non-nil and enabled, receives PortfolioEvents as the race
+	// progresses: one "window" event per entrant budget window, a verdict
+	// event per entrant result, and a "winner" event. Emission happens from
+	// entrant goroutines, so the tracer must be safe for concurrent use.
+	Trace obs.Tracer
+}
+
 // Solve races the entrants on f until one returns a conclusive verified
 // result or the context is cancelled. Entrants solve in conflict-budget
 // windows so cancellation latency stays bounded. Sat models are always
 // checked; Unsat verdicts are trusted (use SolveCertified to require
 // proofs).
 func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
-	return race(ctx, f, entrants, false)
+	return SolveWith(ctx, f, entrants, RaceOptions{})
 }
 
 // SolveCertified is Solve with mandatory certification: a Sat winner must
@@ -162,10 +174,18 @@ func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, er
 // without a SolveCertified implementation fall back to model-checked Solve
 // and can win Sat races but have their Unsat verdicts rejected.
 func SolveCertified(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
-	return race(ctx, f, entrants, true)
+	return SolveWith(ctx, f, entrants, RaceOptions{Certify: true})
 }
 
-func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool) (Outcome, error) {
+// SolveWith is the fully configurable race entry point.
+func SolveWith(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions) (Outcome, error) {
+	return race(ctx, f, entrants, o.Certify, o.Trace)
+}
+
+func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool, trace obs.Tracer) (Outcome, error) {
+	if trace == nil {
+		trace = obs.Nop()
+	}
 	if len(entrants) == 0 {
 		return Outcome{}, fmt.Errorf("portfolio: no entrants")
 	}
@@ -187,11 +207,25 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool)
 			// ones. Every window restarts the entrant from scratch; learnt
 			// state is entrant-local.
 			budget := int64(20_000)
+			// report pairs the verdict message with its trace event.
+			report := func(r sat.Result, status string, err error) {
+				if trace.Enabled() {
+					ev := obs.PortfolioEvent{Entrant: e.Name, Status: status, Budget: budget}
+					if err != nil {
+						ev.Err = err.Error()
+					}
+					trace.Emit(ev)
+				}
+				results <- msg{e.Name, r, err}
+			}
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				default:
+				}
+				if trace.Enabled() {
+					trace.Emit(obs.PortfolioEvent{Entrant: e.Name, Status: "window", Budget: budget})
 				}
 				var r sat.Result
 				var cert *verify.Certificate
@@ -202,25 +236,25 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool)
 				}
 				if r.Status == sat.Sat {
 					if err := verify.CheckModel(f, r.Model); err != nil {
-						results <- msg{e.Name, r, ErrInvalidModel{e.Name}}
+						report(r, "error", ErrInvalidModel{e.Name})
 						return
 					}
-					results <- msg{e.Name, r, nil}
+					report(r, "sat", nil)
 					return
 				}
 				if r.Status == sat.Unsat {
 					if certify {
 						if cert == nil {
-							results <- msg{e.Name, r, ErrUncertified{e.Name,
-								fmt.Errorf("no certificate produced")}}
+							report(r, "error", ErrUncertified{e.Name,
+								fmt.Errorf("no certificate produced")})
 							return
 						}
 						if err := cert.CheckUnsat(); err != nil {
-							results <- msg{e.Name, r, ErrUncertified{e.Name, err}}
+							report(r, "error", ErrUncertified{e.Name, err})
 							return
 						}
 					}
-					results <- msg{e.Name, r, nil}
+					report(r, "unsat", nil)
 					return
 				}
 				budget *= 4
@@ -240,6 +274,9 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool)
 					return Outcome{}, m.err
 				}
 				continue
+			}
+			if trace.Enabled() {
+				trace.Emit(obs.PortfolioEvent{Entrant: m.name, Status: "winner"})
 			}
 			return Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start),
 				Certified: certify}, nil

@@ -1,6 +1,9 @@
 package sat
 
-import "hyqsat/internal/cnf"
+import (
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/obs"
+)
 
 // analyze derives a first-UIP learnt clause from the conflict, returning the
 // learnt literals (asserting literal first) and the backjump level. It also
@@ -153,15 +156,26 @@ func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
 // when the conflict proves unsatisfiability (conflict at the root level).
 func (s *Solver) handleConflict(conflict cref) bool {
 	s.stats.Conflicts++
+	level := int(s.decisionLevel())
+	if s.metrics.ConflictDepth != nil {
+		s.metrics.ConflictDepth.Observe(float64(level))
+	}
 	if s.decisionLevel() == s.rootLevel {
 		s.status = Unsat
 		s.conflictC = conflict
 		s.proofAdd(nil) // the empty clause: unsatisfiability is established
+		if s.trace != nil && s.trace.Enabled() {
+			s.trace.Emit(obs.ConflictEvent{Conflicts: s.stats.Conflicts, Level: level})
+		}
 		return false
 	}
 	learnt, backjump := s.analyze(conflict)
 	s.proofAdd(learnt)
 	s.cancelUntil(backjump)
+	if s.metrics.LearntLen != nil {
+		s.metrics.LearntLen.Observe(float64(len(learnt)))
+	}
+	lbd := int32(1)
 	if len(learnt) == 1 {
 		if !s.enqueue(learnt[0], crefUndef) {
 			s.status = Unsat
@@ -171,10 +185,20 @@ func (s *Solver) handleConflict(conflict cref) bool {
 	} else {
 		c := s.attachClause(learnt, true, -1)
 		s.clauses[c].lbd = s.computeLBD(learnt)
+		lbd = s.clauses[c].lbd
 		s.stats.Learned++
 		if !s.enqueue(learnt[0], c) {
 			panic("sat: asserting literal already false after backjump")
 		}
+	}
+	if s.trace != nil && s.trace.Enabled() {
+		s.trace.Emit(obs.ConflictEvent{
+			Conflicts: s.stats.Conflicts,
+			Level:     level,
+			LearntLen: len(learnt),
+			LBD:       int(lbd),
+			Backjump:  int(backjump),
+		})
 	}
 	switch s.opts.Heuristic {
 	case CHB:

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hyqsat/internal/cnf"
+	"hyqsat/internal/obs"
 )
 
 // This file contains the introspection and guidance hooks consumed by the
@@ -119,6 +120,30 @@ func (s *Solver) VarActivity(v cnf.Var) float64 { return s.varAct[v] }
 func (s *Solver) VisitCounts() (prop, conf []int64) {
 	return s.propVisits, s.confVisits
 }
+
+// SetTracer attaches a solve-event tracer: every conflict emits a
+// ConflictEvent and every restart a RestartEvent. Pass nil (or a tracer
+// whose Enabled() is false) to disable; disabled tracing adds no
+// allocations to the search loop. Attach before solving.
+func (s *Solver) SetTracer(t obs.Tracer) { s.trace = t }
+
+// Metrics holds optional live instrumentation sinks the solver updates with
+// pure atomics as it searches. Any field may be nil. These feed the
+// telemetry registry without routing per-conflict data through the (heavier)
+// event tracer.
+type Metrics struct {
+	// ConflictDepth observes the decision level of every conflict.
+	ConflictDepth *obs.Histogram
+	// LearntLen observes the length of every learnt clause.
+	LearntLen *obs.Histogram
+	// Iterations tracks the live iteration count (for mid-solve status
+	// endpoints; reading the Stats struct of a running solver is racy,
+	// a gauge read is not).
+	Iterations *obs.Gauge
+}
+
+// SetMetrics installs live instrumentation sinks. Attach before solving.
+func (s *Solver) SetMetrics(m Metrics) { s.metrics = m }
 
 // Formula returns the input formula the solver was built from.
 func (s *Solver) Formula() *cnf.Formula { return s.formula }

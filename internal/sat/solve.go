@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hyqsat/internal/cnf"
+	"hyqsat/internal/obs"
 )
 
 // StepStatus is the outcome of a single solver iteration.
@@ -37,6 +38,9 @@ func (s *Solver) Step() StepStatus {
 		return StepBudget
 	}
 	s.stats.Iterations++
+	if s.metrics.Iterations != nil {
+		s.metrics.Iterations.Set(s.stats.Iterations)
+	}
 
 	for {
 		conflict := s.propagate()
@@ -150,6 +154,9 @@ func (s *Solver) shouldRestart() bool {
 
 func (s *Solver) restart() {
 	s.stats.Restarts++
+	if s.trace != nil && s.trace.Enabled() {
+		s.trace.Emit(obs.RestartEvent{Restarts: s.stats.Restarts, Conflicts: s.stats.Conflicts})
+	}
 	s.cancelUntil(s.rootLevel)
 	s.lubyIndex++
 	s.conflictsUntilRestart = s.restartBudget()

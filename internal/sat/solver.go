@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"hyqsat/internal/cnf"
+	"hyqsat/internal/obs"
 )
 
 // cref indexes the solver's clause arena.
@@ -90,6 +91,14 @@ type Solver struct {
 
 	// proof, when non-nil, receives every learnt/deleted clause (DRAT trace).
 	proof ProofWriter
+
+	// trace, when non-nil and enabled, receives conflict/restart events.
+	// Emission sites guard with Enabled() so disabled tracing costs one
+	// branch and zero allocations.
+	trace obs.Tracer
+	// metrics holds optional live instrumentation hooks (histograms and
+	// gauges updated with pure atomics — no allocation, no locking).
+	metrics Metrics
 
 	// forced is a queue of literals to prefer as upcoming decisions
 	// (consumed front to back, skipping assigned variables). Set by the
