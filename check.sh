@@ -18,6 +18,14 @@ go test -race -count=1 ./internal/anneal ./internal/hyqsat ./internal/bench ./in
 go test -run='^$' -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/cnf
 go test -run='^$' -fuzz=FuzzEncodeClause -fuzztime=10s ./internal/qubo
 go test -run='^$' -fuzz=FuzzProofCheck -fuzztime=10s ./internal/verify
+go test -run='^$' -fuzz=FuzzUnembedCorrupt -fuzztime=10s ./internal/hyqsat
+# Chaos gate: the fault-tolerance layer (fault injection, retry/backoff,
+# circuit breaker, degradation to pure CDCL) under the race detector, and
+# the Resilient wrapper's happy-path overhead contract: 0 extra allocs/op
+# always, ≤1% ns/op via the opt-in perf gate.
+go test -race -count=1 ./internal/qpu ./internal/hyqsat
+go test -run=TestResilientHappyPathAllocs -count=1 ./internal/qpu
+HYQSAT_PERF_GATE=1 go test -run=TestResilientOverhead -count=1 -v ./internal/qpu
 # Telemetry gates: the sweep kernel keeps its 0 allocs/op contract with the
 # no-op tracer installed, and stays within 1% ns/op of the untraced kernel
 # (in-process interleaved benchmark; opt-in via the env var).

@@ -6,11 +6,25 @@
 //	hyqsat [-solver=hyqsat|minisat|kissat|portfolio] [-mode=sim|hw] [-seed N]
 //	       [-reads N] [-stats] [-proof file.drat] [-verify]
 //	       [-trace out.jsonl] [-metrics-addr host:port] [-flight-recorder N]
-//	       [-max-conflicts N]
+//	       [-max-conflicts N] [-timeout 30s] [-fault-profile flaky]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] file.cnf
 //
 // With no file, the formula is read from stdin. Exit status follows the SAT
 // competition convention: 10 satisfiable, 20 unsatisfiable, 1 error.
+//
+// -timeout bounds the wall-clock solve; when it expires (or on Ctrl-C) the
+// solver stops at the next safe point and reports UNKNOWN, printing whatever
+// partial statistics and flight-recorder tail it has. The context also
+// reaches the QA backend, so an in-flight retry/backoff loop is abandoned
+// rather than run to exhaustion.
+//
+// -fault-profile exercises the solver against a misbehaving QA backend: the
+// emulated annealer is wrapped in a seeded fault injector (presets none,
+// flaky, slow, corrupt, drift, outage — or a key=value list like
+// "transient=0.3,latency=5ms"; see internal/qpu.ParseProfile) plus the
+// Resilient reliability layer (retry with backoff, circuit breaker, per-call
+// deadlines, read-set validation). QA failures degrade iterations to pure
+// CDCL; verdicts remain exact and -verify still certifies them.
 //
 // -proof streams a DRAT proof of the solver's clause derivations to a file;
 // for an UNSAT run the file certifies the verdict (checkable by any DRAT
@@ -42,10 +56,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -54,6 +70,7 @@ import (
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/obs"
 	"hyqsat/internal/portfolio"
+	"hyqsat/internal/qpu"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
 )
@@ -79,6 +96,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	metricsAddr := fs.String("metrics-addr", "", "serve live introspection (/metrics, /solve/status, ...) on this address")
 	flightN := fs.Int("flight-recorder", 0, "keep the last N trace events; dump to stderr on UNSAT/UNKNOWN or panic")
 	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget; report UNKNOWN once exhausted (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget; report UNKNOWN with partial stats once expired (0 = none)")
+	faultProfile := fs.String("fault-profile", "", "inject QA faults: preset (none, flaky, slow, corrupt, drift, outage) or key=value list")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the solve to this file")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +183,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}()
 
+	// Solve context: the wall-clock budget (-timeout) and Ctrl-C both cancel
+	// it; solvers poll it at safe points and the QA backend honours it inside
+	// retry/backoff, so interruption yields UNKNOWN plus partial telemetry
+	// rather than a killed process.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	ctxWhy := func() string {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return "timeout"
+		}
+		return "interrupt"
+	}
+
+	// -fault-profile decorates the solver's QA access path: seeded fault
+	// injection underneath, the Resilient reliability layer on top, both
+	// reporting into the same tracer and registry as the rest of the solve.
+	var wrapBackend func(qpu.Backend) qpu.Backend
+	if *faultProfile != "" {
+		prof, err := qpu.ParseProfile(*faultProfile)
+		if err != nil {
+			return fail(err)
+		}
+		wrapBackend = func(b qpu.Backend) qpu.Backend {
+			fi := qpu.NewFaultInjector(b, prof, *seed)
+			fi.Trace = tracer
+			return qpu.NewResilient(fi, qpu.Config{Seed: *seed, Trace: tracer, Metrics: reg})
+		}
+	}
+
 	in := stdin
 	if fs.NArg() > 0 {
 		f, err := os.Open(fs.Arg(0))
@@ -236,7 +290,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if hook != nil {
 			s.SetProofWriter(hook)
 		}
-		r := s.Solve()
+		r := solveClassical(ctx, s)
+		if r.Status == sat.Unknown && ctx.Err() != nil {
+			fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
+		}
 		status, assignment = r.Status, r.Model
 		if *verifyFlag {
 			if err := certify(formula, status, assignment); err != nil {
@@ -259,9 +316,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opts.Trace = tracer
 		opts.Metrics = reg
 		opts.CDCL.MaxConflicts = *maxConflicts
+		opts.WrapBackend = wrapBackend
 		h := hyqsat.New(formula, opts)
 		statusVar.Set(h.LiveStatus)
-		r := h.Solve()
+		r := h.SolveContext(ctx)
+		if r.Err != nil {
+			fmt.Fprintln(stderr, "c interrupted:", r.Err)
+		}
 		status, assignment = r.Status, r.Model
 		if *verifyFlag {
 			// The hybrid solves the 3-CNF form; proofs certify against it.
@@ -276,16 +337,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			printHybridStats(stdout, r.Stats)
 		}
 	case "portfolio":
-		out, err := portfolio.SolveWith(context.Background(), formula,
-			portfolio.DefaultEntrants(*seed),
+		out, err := portfolio.SolveWith(ctx, formula,
+			portfolio.DefaultEntrantsBackend(*seed, wrapBackend),
 			portfolio.RaceOptions{Certify: *verifyFlag, Trace: tracer})
-		if err != nil {
+		switch {
+		case err != nil && ctx.Err() != nil:
+			// The race was interrupted, not lost: report UNKNOWN.
+			fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
+			status = sat.Unknown
+		case err != nil:
 			return fail(err)
-		}
-		status, assignment = out.Result.Status, out.Result.Model
-		if *stats {
-			fmt.Fprintf(stdout, "c winner=%s elapsed=%v iterations=%d\n",
-				out.Winner, out.Elapsed, out.Result.Stats.Iterations)
+		default:
+			status, assignment = out.Result.Status, out.Result.Model
+			if *stats {
+				fmt.Fprintf(stdout, "c winner=%s elapsed=%v iterations=%d\n",
+					out.Winner, out.Elapsed, out.Result.Stats.Iterations)
+			}
 		}
 	default:
 		return fail(fmt.Errorf("unknown solver %q", *solver))
@@ -321,8 +388,34 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 20
 	default:
 		fmt.Fprintln(stdout, "s UNKNOWN")
-		dumpFlight("unknown")
+		why := "unknown"
+		if ctx.Err() != nil {
+			why = ctxWhy()
+		}
+		dumpFlight(why)
 		return 0
+	}
+}
+
+// solveClassical runs a classical CDCL solver to completion, polling the
+// context between bounded windows of iterations so -timeout and Ctrl-C stay
+// responsive (a window is ~milliseconds; a programmed iteration, like a
+// device access, is never preempted mid-step).
+func solveClassical(ctx context.Context, s *sat.Solver) sat.Result {
+	for {
+		if ctx.Err() != nil {
+			return sat.Result{Status: sat.Unknown, Stats: s.Stats()}
+		}
+		for i := 0; i < 4096; i++ {
+			switch s.Step() {
+			case sat.StepSat:
+				return sat.Result{Status: sat.Sat, Model: s.Model(), Stats: s.Stats()}
+			case sat.StepUnsat:
+				return sat.Result{Status: sat.Unsat, Stats: s.Stats()}
+			case sat.StepBudget:
+				return sat.Result{Status: sat.Unknown, Stats: s.Stats()}
+			}
+		}
 	}
 }
 

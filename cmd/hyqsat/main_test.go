@@ -319,3 +319,57 @@ func httpGet(url string) (string, error) {
 	}
 	return string(body), nil
 }
+
+func TestCLIFaultProfileOutageStillCertifies(t *testing.T) {
+	// A 100% dead QA backend must not change the verdict: the hybrid degrades
+	// to pure CDCL and -verify still certifies both answers.
+	args := []string{"-solver", "hyqsat", "-mode", "sim", "-fault-profile", "outage", "-verify", "-stats"}
+	code, out, errOut := runCLI(t, args, satCNF)
+	if code != 10 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("outage SAT: code=%d out=%q err=%q", code, out, errOut)
+	}
+	code, out, errOut = runCLI(t, args, unsatCNF)
+	if code != 20 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("outage UNSAT: code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+func TestCLIFaultProfileFlakySolves(t *testing.T) {
+	code, out, errOut := runCLI(t,
+		[]string{"-solver", "hyqsat", "-mode", "sim", "-seed", "4",
+			"-fault-profile", "transient=0.4,latency=1ms", "-verify"},
+		mediumCNF(t))
+	if code != 10 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("flaky solve: code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+func TestCLIFaultProfileRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"nonsense", "outage=0.7,transient=0.7", "latency=fast"} {
+		code, _, errOut := runCLI(t,
+			[]string{"-solver", "hyqsat", "-fault-profile", spec}, satCNF)
+		if code != 1 || !strings.Contains(errOut, "fault profile") {
+			t.Fatalf("spec %q: code=%d err=%q, want rejection", spec, code, errOut)
+		}
+	}
+}
+
+func TestCLITimeoutReportsUnknown(t *testing.T) {
+	// A hard instance with an already-expired budget: the solver must stop at
+	// its first context poll and report UNKNOWN (exit 0), not hang or error.
+	inst := gen.Random3SAT(120, 510, 3) // near-threshold hard instance
+	var sb strings.Builder
+	if err := cnf.WriteDIMACS(&sb, inst.Formula); err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []string{"hyqsat", "minisat", "portfolio"} {
+		args := []string{"-solver", solver, "-mode", "sim", "-timeout", "1ns", "-flight-recorder", "8"}
+		code, out, errOut := runCLI(t, args, sb.String())
+		if code != 0 || !strings.Contains(out, "s UNKNOWN") {
+			t.Fatalf("%s with expired timeout: code=%d out=%q err=%q", solver, code, out, errOut)
+		}
+		if !strings.Contains(errOut, "c interrupted:") {
+			t.Fatalf("%s: stderr missing interruption notice: %q", solver, errOut)
+		}
+	}
+}

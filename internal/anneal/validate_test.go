@@ -1,0 +1,87 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// validReadSet draws a real, well-formed read set from the emulated device.
+func validReadSet(t *testing.T, ep *EmbeddedProblem, reads int) ReadSet {
+	t.Helper()
+	s := NewSampler(DefaultSchedule(), DWave2000QNoise, 11)
+	rs := s.Sample(ep, reads)
+	if err := ValidateReadSet(ep, &rs, reads); err != nil {
+		t.Fatalf("fresh device read set fails validation: %v", err)
+	}
+	return rs
+}
+
+func TestValidateReadSetAcceptsDeviceOutput(t *testing.T) {
+	ep := testEmbeddedProblem(t, 3, 12)
+	validReadSet(t, ep, 4)
+	// wantReads ≤ 0 is normalised to 1, matching Sampler.Sample.
+	rs := validReadSet(t, ep, 1)
+	if err := ValidateReadSet(ep, &rs, 0); err != nil {
+		t.Fatalf("wantReads=0 should mean 1: %v", err)
+	}
+	if err := ValidateReadSet(ep, &rs, -3); err != nil {
+		t.Fatalf("wantReads<0 should mean 1: %v", err)
+	}
+}
+
+// TestValidateReadSetRejections mutates a valid read set one invariant at a
+// time and checks each violation is caught with its stable reason tag.
+func TestValidateReadSetRejections(t *testing.T) {
+	ep := testEmbeddedProblem(t, 3, 12)
+	const reads = 4
+	cases := []struct {
+		name   string
+		mutate func(rs *ReadSet)
+		reason string
+		read   int
+	}{
+		{"empty", func(rs *ReadSet) { rs.Samples = nil }, "empty", -1},
+		{"truncated", func(rs *ReadSet) { rs.Samples = rs.Samples[:reads-1] }, "read_count", -1},
+		{"best_dangling", func(rs *ReadSet) { rs.Best = reads + 5 }, "best_index", -1},
+		{"best_negative", func(rs *ReadSet) { rs.Best = -1 }, "best_index", -1},
+		{"nil_values", func(rs *ReadSet) { rs.Samples[2].NodeValues = nil }, "nil_values", 2},
+		{"nan_energy", func(rs *ReadSet) { rs.Samples[1].HardwareEnergy = math.NaN() }, "energy", 1},
+		{"inf_energy", func(rs *ReadSet) { rs.Samples[1].HardwareEnergy = math.Inf(-1) }, "energy", 1},
+		{"missing_chain", func(rs *ReadSet) {
+			for node := range rs.Samples[0].NodeValues {
+				delete(rs.Samples[0].NodeValues, node)
+				break
+			}
+		}, "chain_count", 0},
+		{"unknown_node", func(rs *ReadSet) {
+			// Swap a carried node for one the embedding does not have, keeping
+			// the chain count intact so the unknown-node check is what fires.
+			nv := rs.Samples[3].NodeValues
+			for node := range nv {
+				delete(nv, node)
+				break
+			}
+			nv[1<<20] = true
+		}, "unknown_node", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := validReadSet(t, ep, reads)
+			tc.mutate(&rs)
+			err := ValidateReadSet(ep, &rs, reads)
+			var rse *ReadSetError
+			if !errors.As(err, &rse) {
+				t.Fatalf("got %v, want a *ReadSetError", err)
+			}
+			if rse.Reason != tc.reason || rse.Read != tc.read {
+				t.Fatalf("got reason=%q read=%d, want reason=%q read=%d (%v)",
+					rse.Reason, rse.Read, tc.reason, tc.read, err)
+			}
+			if !strings.Contains(rse.Error(), tc.reason) {
+				t.Fatalf("error text %q does not name the reason %q", rse.Error(), tc.reason)
+			}
+		})
+	}
+}

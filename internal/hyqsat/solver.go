@@ -1,6 +1,7 @@
 package hyqsat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"hyqsat/internal/embed"
 	"hyqsat/internal/gnb"
 	"hyqsat/internal/obs"
+	"hyqsat/internal/qpu"
 	"hyqsat/internal/qubo"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
@@ -86,6 +88,18 @@ type Options struct {
 	SampleWorkers int
 	// Seed drives all stochastic choices.
 	Seed int64
+
+	// Backend overrides the QPU access path entirely: QA submissions go to it
+	// instead of the solver's own emulated sampler. Backends may time out,
+	// fail, or return garbage — the hybrid loop validates every read set and
+	// degrades the iteration to pure CDCL on any error, so a misbehaving
+	// backend costs guidance, never correctness.
+	Backend qpu.Backend
+	// WrapBackend decorates the QPU access path (the solver's own Local
+	// backend, or Backend when set): the hook through which cmd/hyqsat and
+	// the chaos tests insert fault injection and the Resilient
+	// retry/breaker layer. Nil leaves the backend undecorated.
+	WrapBackend func(qpu.Backend) qpu.Backend
 
 	// Proof, when non-nil, receives the CDCL core's clause trace in DRAT
 	// form. The proof's premise is the 3-CNF formula actually solved
@@ -196,6 +210,12 @@ type Stats struct {
 	Strategy3Hits int
 	Strategy4Hits int
 
+	// QA availability counters: QADegraded counts warm-up iterations that
+	// fell back to pure CDCL because the backend failed (or the breaker was
+	// open); QAInvalid counts read sets the boundary validation rejected.
+	QADegraded int64
+	QAInvalid  int64
+
 	// Time breakdown (Fig 11): Frontend/Backend/CDCL are measured CPU time;
 	// QADevice is the modelled annealer access time.
 	Frontend time.Duration
@@ -219,6 +239,9 @@ type Result struct {
 	Stats     Stats
 	Certified bool
 	CertErr   error
+	// Err is set when the solve ended inconclusively for an external reason
+	// (context cancellation or deadline); Status is Unknown then.
+	Err error
 }
 
 // Solver is the HyQSAT hybrid solver for one formula.
@@ -230,6 +253,7 @@ type Solver struct {
 	sat     *sat.Solver
 	varAdj  [][]int
 	sampler *anneal.Sampler
+	backend qpu.Backend
 	cache   *embedCache
 
 	// Telemetry: every counter of the former Stats struct lives in the
@@ -270,6 +294,8 @@ type solverMetrics struct {
 	cacheMisses *obs.Counter
 	strat       [4]*obs.Counter
 	qaDeviceNs  *obs.Counter
+	degraded    *obs.Counter // iterations that lost QA guidance to a backend fault
+	invalid     *obs.Counter // read sets rejected by boundary validation
 
 	iteration  *obs.Gauge // hybrid warm-up iterations so far
 	queueDepth *obs.Gauge // clause-queue length of the latest frontend pass
@@ -288,6 +314,8 @@ func newSolverMetrics(reg *obs.Registry) solverMetrics {
 		broken:      reg.Counter("hyqsat_broken_chains"),
 		cacheHits:   reg.Counter("hyqsat_embed_cache_hits"),
 		cacheMisses: reg.Counter("hyqsat_embed_cache_misses"),
+		degraded:    reg.Counter("hyqsat_qa_degraded"),
+		invalid:     reg.Counter("hyqsat_qa_invalid_readsets"),
 		qaDeviceNs:  reg.Counter("hyqsat_phase_qa_device_ns"),
 		iteration:   reg.Gauge("hyqsat_iteration"),
 		queueDepth:  reg.Gauge("hyqsat_queue_depth"),
@@ -351,6 +379,18 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	s.sampler.Trace = s.trace
 	s.sampler.Timing = opts.Timing
 
+	// The QA access path: the caller's backend, or the solver's own sampler
+	// behind the Local adapter, optionally decorated (fault injection,
+	// Resilient retry/breaker) via WrapBackend.
+	if opts.Backend != nil {
+		s.backend = opts.Backend
+	} else {
+		s.backend = qpu.NewLocal(s.sampler)
+	}
+	if opts.WrapBackend != nil {
+		s.backend = opts.WrapBackend(s.backend)
+	}
+
 	if opts.SelfCertify {
 		s.recorder = verify.NewRecorder()
 	}
@@ -407,6 +447,8 @@ func (s *Solver) Stats() Stats {
 		Strategy2Hits:    int(s.m.strat[1].Value()),
 		Strategy3Hits:    int(s.m.strat[2].Value()),
 		Strategy4Hits:    int(s.m.strat[3].Value()),
+		QADegraded:       s.m.degraded.Value(),
+		QAInvalid:        s.m.invalid.Value(),
 		Frontend:         s.phases.Total(phaseFrontend),
 		Backend:          s.phases.Total(phaseBackend),
 		CDCL:             s.phases.Total(phaseCDCL),
@@ -435,6 +477,7 @@ func (s *Solver) LiveStatus() map[string]any {
 		"cdcl_iterations":  s.m.cdclIters.Value(),
 		"qa_calls":         s.m.qaCalls.Value(),
 		"qa_reads":         s.m.qaReads.Value(),
+		"qa_degraded":      s.m.degraded.Value(),
 		"embedded_clauses": s.m.embedded.Value(),
 		"embed_cache": map[string]int64{
 			"hits":   s.m.cacheHits.Value(),
@@ -460,25 +503,62 @@ func (s *Solver) SATSolver() *sat.Solver { return s.sat }
 
 // Solve runs the hybrid search to completion: √K warm-up iterations with QA
 // guidance, then classic CDCL.
-func (s *Solver) Solve() Result {
+func (s *Solver) Solve() Result { return s.SolveContext(context.Background()) }
+
+// SolveContext is Solve with cancellation: the context is checked between
+// hybrid iterations and in bounded CDCL windows, and propagated into every
+// QA backend submission (deadlines reach the retry/backoff layer). On
+// cancellation the solve stops at the next boundary and returns Unknown with
+// Result.Err set to the context's error; counters and phase accounting stay
+// consistent, so partial stats remain reportable.
+func (s *Solver) SolveContext(ctx context.Context) Result {
 	warmup := s.WarmupBudget()
 	for it := 0; it < warmup; it++ {
+		if err := ctx.Err(); err != nil {
+			return s.interrupted(err)
+		}
 		if it%s.opts.QAInterval != 0 {
 			if done, res := s.stepCDCL(); done {
 				return res
 			}
 			continue
 		}
-		if done, res := s.hybridIteration(); done {
+		if done, res := s.hybridIteration(ctx); done {
 			return res
 		}
 	}
 	// Remaining iterations: classic CDCL, one span for the whole tail (the
-	// sat.Metrics iteration gauge keeps live status fresh meanwhile).
+	// sat.Metrics iteration gauge keeps live status fresh meanwhile), with
+	// the context polled every 256 steps so cancellation latency stays
+	// bounded without taxing the propagate loop.
 	sp := s.phases.Start(phaseCDCL)
-	r := s.sat.Solve()
-	sp.End()
-	return s.finish(r.Status, r.Model)
+	for i := 0; ; i++ {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				sp.End()
+				return s.interrupted(err)
+			}
+		}
+		switch s.sat.Step() {
+		case sat.StepSat:
+			sp.End()
+			return s.finish(sat.Sat, s.sat.Model())
+		case sat.StepUnsat:
+			sp.End()
+			return s.finish(sat.Unsat, nil)
+		case sat.StepBudget:
+			sp.End()
+			return s.finish(sat.Unknown, nil)
+		}
+	}
+}
+
+// interrupted finishes an externally-cancelled solve: Unknown, with the
+// cause recorded and the usual stats snapshot attached.
+func (s *Solver) interrupted(cause error) Result {
+	r := s.finish(sat.Unknown, nil)
+	r.Err = cause
+	return r
 }
 
 func (s *Solver) finish(status sat.Status, model []bool) Result {
@@ -520,8 +600,10 @@ func (s *Solver) Certificate() *verify.Certificate {
 }
 
 // hybridIteration runs one warm-up iteration: frontend → QA → backend →
-// one CDCL step. It reports completion via done.
-func (s *Solver) hybridIteration() (done bool, res Result) {
+// one CDCL step. It reports completion via done. A failed or invalid QA
+// access degrades the iteration to pure CDCL (see degrade) instead of
+// propagating the failure.
+func (s *Solver) hybridIteration(ctx context.Context) (done bool, res Result) {
 	s.m.warmup.Inc()
 	iteration := s.m.warmup.Value()
 	s.m.iteration.Set(iteration)
@@ -575,8 +657,23 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 
 	// --- QA: NumReads samples from one programmed problem; the backend
 	// interprets the best-energy read; device time is modelled (charged to a
-	// counter, not a measured span — the sampler emits the QACallEvent) ---
-	reads := s.sampler.Sample(ep, s.opts.NumReads)
+	// counter, not a measured span — the sampler emits the QACallEvent).
+	// The access goes through the qpu.Backend, which may fail: submission
+	// errors, open breakers and malformed read sets all degrade this
+	// iteration to pure CDCL — the solve continues on classical search and
+	// the next iteration tries the device again. ---
+	reads, err := s.backend.Submit(ctx, ep, s.opts.NumReads)
+	if err != nil {
+		return s.degrade(iteration, err)
+	}
+	// Boundary validation: never classify a read set whose shape is wrong
+	// (truncated samples, non-finite energies, readouts off the embedding).
+	// The Resilient wrapper validates too, but the solver cannot assume the
+	// configured backend did.
+	if verr := anneal.ValidateReadSet(ep, &reads, s.opts.NumReads); verr != nil {
+		s.m.invalid.Inc()
+		return s.degrade(iteration, verr)
+	}
 	sample := reads.BestSample()
 	s.m.qaCalls.Inc()
 	s.m.qaReads.Add(int64(len(reads.Samples)))
@@ -591,15 +688,8 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 
 	// --- Backend: interpret energy, apply a feedback strategy ---
 	span = s.phases.Start(phaseBackend)
-	x := make([]bool, embEnc.NumNodes())
-	for node, v := range sample.NodeValues {
-		if node < len(x) {
-			x[node] = v
-		}
-	}
-	energy := embEnc.UnitEnergy(x)
+	energy, qaAssign := interpretSample(embEnc, sample, s.formula.NumVars)
 	class := s.opts.Partition.Classify(energy)
-	qaAssign := embEnc.AssignmentFromNodes(x, s.formula.NumVars)
 
 	allEmbedded := ent.embedded == len(unsat)
 	// emitStrategy records the Fig 9 outcome classification of this QA
@@ -691,6 +781,22 @@ func (s *Solver) hybridIteration() (done bool, res Result) {
 	return s.stepCDCL()
 }
 
+// interpretSample unembeds one (possibly corrupted) QA read: node values are
+// mapped into the embedded encoding's node space and reduced to the unit
+// energy and the partial assignment over the SAT variables. Logical nodes
+// outside the encoding's node range — which corrupted sample vectors can
+// name — are dropped rather than indexed: unembedding must never panic or
+// index out of range (fuzzed by FuzzUnembedCorrupt).
+func interpretSample(embEnc *qubo.Encoding, sample anneal.Sample, numVars int) (energy float64, qaAssign cnf.Assignment) {
+	x := make([]bool, embEnc.NumNodes())
+	for node, v := range sample.NodeValues {
+		if node >= 0 && node < len(x) {
+			x[node] = v
+		}
+	}
+	return embEnc.UnitEnergy(x), embEnc.AssignmentFromNodes(x, numVars)
+}
+
 // encodeAndEmbed runs the frontend pipeline for one clause queue: QUBO
 // encoding, fast embedding, restriction to the embedded clause set,
 // coefficient adjustment, normalisation, and programming onto the hardware
@@ -738,6 +844,20 @@ func (s *Solver) fullModel(qa cnf.Assignment) ([]bool, bool) {
 		return model, true
 	}
 	return nil, false
+}
+
+// degrade falls the current warm-up iteration back to pure CDCL after a QA
+// backend failure: the fault is counted and traced, no guidance is injected,
+// and the classical search advances exactly as in a non-QA iteration. This
+// is the architectural property the fault-tolerance layer leans on — CDCL
+// absorbs arbitrary QA errors, so degraded solves stay correct (and stay
+// certified when SelfCertify is on).
+func (s *Solver) degrade(iteration int64, cause error) (bool, Result) {
+	s.m.degraded.Inc()
+	if s.trace.Enabled() {
+		s.trace.Emit(obs.DegradeEvent{Iteration: iteration, Err: cause.Error()})
+	}
+	return s.stepCDCL()
 }
 
 // stepCDCL advances the classical search by one iteration.

@@ -126,3 +126,55 @@ type PortfolioEvent struct {
 
 // Kind implements Event.
 func (PortfolioEvent) Kind() string { return "portfolio" }
+
+// BreakerEvent records one circuit-breaker state transition of the QPU
+// access layer: closed → open when consecutive submissions keep failing,
+// open → half-open when the cooldown elapses and a probe is admitted,
+// half-open → closed (probe succeeded, QA traffic resumes) or half-open →
+// open (probe failed, back to cooldown).
+type BreakerEvent struct {
+	Backend  string `json:"backend"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Failures int    `json:"failures"` // consecutive failures at transition time
+}
+
+// Kind implements Event.
+func (BreakerEvent) Kind() string { return "breaker" }
+
+// QPURetryEvent records one retry of a failed QPU submission: which call and
+// attempt is being retried, the backoff slept before it, and the error that
+// caused it.
+type QPURetryEvent struct {
+	Call      int64  `json:"call"`
+	Attempt   int    `json:"attempt"`
+	BackoffNs int64  `json:"backoff_ns"`
+	Err       string `json:"err"`
+}
+
+// Kind implements Event.
+func (QPURetryEvent) Kind() string { return "qpu_retry" }
+
+// QPUFaultEvent records one fault injected by the deterministic fault
+// injector (timeout, transient, outage, slow, truncate, corrupt, drift) —
+// the ground truth chaos tests correlate observed behaviour against.
+type QPUFaultEvent struct {
+	Call  int64  `json:"call"`
+	Fault string `json:"fault"`
+}
+
+// Kind implements Event.
+func (QPUFaultEvent) Kind() string { return "qpu_fault" }
+
+// DegradeEvent records the hybrid loop degrading one warm-up iteration to
+// pure CDCL because the QA backend failed (submission error, open breaker, or
+// a read set that failed boundary validation). The solve continues — CDCL
+// absorbs the missing guidance — so degradation is an availability signal,
+// not a correctness one.
+type DegradeEvent struct {
+	Iteration int64  `json:"iteration"`
+	Err       string `json:"err"`
+}
+
+// Kind implements Event.
+func (DegradeEvent) Kind() string { return "degrade" }

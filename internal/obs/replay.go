@@ -78,6 +78,18 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case "portfolio":
 		e, err := unmarshal(&PortfolioEvent{})
 		return deref(e, err)
+	case "breaker":
+		e, err := unmarshal(&BreakerEvent{})
+		return deref(e, err)
+	case "qpu_retry":
+		e, err := unmarshal(&QPURetryEvent{})
+		return deref(e, err)
+	case "qpu_fault":
+		e, err := unmarshal(&QPUFaultEvent{})
+		return deref(e, err)
+	case "degrade":
+		e, err := unmarshal(&DegradeEvent{})
+		return deref(e, err)
 	}
 	return nil, nil
 }
@@ -102,6 +114,14 @@ func deref(e Event, err error) (Event, error) {
 	case *PhaseSpan:
 		return *v, nil
 	case *PortfolioEvent:
+		return *v, nil
+	case *BreakerEvent:
+		return *v, nil
+	case *QPURetryEvent:
+		return *v, nil
+	case *QPUFaultEvent:
+		return *v, nil
+	case *DegradeEvent:
 		return *v, nil
 	}
 	return e, nil

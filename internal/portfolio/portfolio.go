@@ -20,19 +20,23 @@ import (
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/obs"
+	"hyqsat/internal/qpu"
 	"hyqsat/internal/sat"
 	"hyqsat/internal/verify"
 )
 
 // Entrant is one competitor: a name and a function solving the formula
-// within the window budget, returning Unknown when the budget expires.
+// within the window budget, returning Unknown when the budget expires. The
+// context carries the race's cancellation and any caller deadline; entrants
+// propagate it into cancellable solvers (the hybrid's QA backend honours it)
+// and may otherwise rely on the window budget for responsiveness.
 // SolveCertified, when non-nil, is the proof-logging variant used by the
 // certifying race: alongside the result it returns the certificate (premise
 // formula + recorded DRAT proof) backing an Unsat verdict.
 type Entrant struct {
 	Name           string
-	Solve          func(f *cnf.Formula, budgetConflicts int64) sat.Result
-	SolveCertified func(f *cnf.Formula, budgetConflicts int64) (sat.Result, *verify.Certificate)
+	Solve          func(ctx context.Context, f *cnf.Formula, budgetConflicts int64) sat.Result
+	SolveCertified func(ctx context.Context, f *cnf.Formula, budgetConflicts int64) (sat.Result, *verify.Certificate)
 }
 
 // MiniSATEntrant is the VSIDS/Luby baseline.
@@ -58,14 +62,16 @@ func KissatEntrant(seed int64) Entrant {
 }
 
 // cdclEntrant wraps a classical solver constructor into both race modes.
+// Classical solvers have no in-flight cancellation; the bounded conflict
+// windows keep their cancellation latency acceptable.
 func cdclEntrant(name string, mk func(*cnf.Formula, int64) (*sat.Solver, *cnf.Formula)) Entrant {
 	return Entrant{
 		Name: name,
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
 			s, _ := mk(f, budget)
 			return s.Solve()
 		},
-		SolveCertified: func(f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
+		SolveCertified: func(_ context.Context, f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
 			s, premise := mk(f, budget)
 			rec := verify.NewRecorder()
 			s.SetProofWriter(rec)
@@ -78,18 +84,26 @@ func cdclEntrant(name string, mk func(*cnf.Formula, int64) (*sat.Solver, *cnf.Fo
 // HyQSATEntrant is the hybrid solver on the emulated annealer. Its
 // certificate premise is the 3-CNF form the hybrid actually solves,
 // equisatisfiable with the input formula.
-func HyQSATEntrant(seed int64) Entrant {
-	run := func(f *cnf.Formula, budget int64, certify bool) (sat.Result, *verify.Certificate) {
+func HyQSATEntrant(seed int64) Entrant { return HyQSATEntrantBackend(seed, nil) }
+
+// HyQSATEntrantBackend is HyQSATEntrant with a decorated QA access path:
+// wrap (when non-nil) is applied around the solver's Local backend, which is
+// how a portfolio race runs the hybrid against a fault-injected or
+// Resilient-wrapped QPU. The race context reaches the backend, so deadlines
+// and cancellation propagate into retry/backoff.
+func HyQSATEntrantBackend(seed int64, wrap func(qpu.Backend) qpu.Backend) Entrant {
+	run := func(ctx context.Context, f *cnf.Formula, budget int64, certify bool) (sat.Result, *verify.Certificate) {
 		o := hyqsat.HardwareOptions()
 		o.Seed = seed
 		o.CDCL.MaxConflicts = budget
+		o.WrapBackend = wrap
 		h := hyqsat.New(f, o)
 		var rec *verify.Recorder
 		if certify {
 			rec = verify.NewRecorder()
 			h.SetProofWriter(rec)
 		}
-		r := h.Solve()
+		r := h.SolveContext(ctx)
 		model := r.Model
 		if r.Status == sat.Sat && len(model) > f.NumVars {
 			model = model[:f.NumVars]
@@ -102,19 +116,26 @@ func HyQSATEntrant(seed int64) Entrant {
 	}
 	return Entrant{
 		Name: fmt.Sprintf("hyqsat/s%d", seed),
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
-			r, _ := run(f, budget, false)
+		Solve: func(ctx context.Context, f *cnf.Formula, budget int64) sat.Result {
+			r, _ := run(ctx, f, budget, false)
 			return r
 		},
-		SolveCertified: func(f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
-			return run(f, budget, true)
+		SolveCertified: func(ctx context.Context, f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
+			return run(ctx, f, budget, true)
 		},
 	}
 }
 
 // DefaultEntrants returns a diverse three-way portfolio.
-func DefaultEntrants(seed int64) []Entrant {
-	return []Entrant{MiniSATEntrant(seed), KissatEntrant(seed + 1), HyQSATEntrant(seed + 2)}
+func DefaultEntrants(seed int64) []Entrant { return DefaultEntrantsBackend(seed, nil) }
+
+// DefaultEntrantsBackend is DefaultEntrants with the hybrid entrant's QA
+// access path decorated by wrap (fault injection, Resilient). The classical
+// entrants are unaffected — which is the point: under a total QPU outage the
+// portfolio still answers through them and through the hybrid's own
+// pure-CDCL degradation.
+func DefaultEntrantsBackend(seed int64, wrap func(qpu.Backend) qpu.Backend) []Entrant {
+	return []Entrant{MiniSATEntrant(seed), KissatEntrant(seed + 1), HyQSATEntrantBackend(seed+2, wrap)}
 }
 
 // Outcome is the portfolio result: the winning entrant and its result.
@@ -230,9 +251,9 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 				var r sat.Result
 				var cert *verify.Certificate
 				if certify && e.SolveCertified != nil {
-					r, cert = e.SolveCertified(f.Copy(), budget)
+					r, cert = e.SolveCertified(ctx, f.Copy(), budget)
 				} else {
-					r = e.Solve(f.Copy(), budget)
+					r = e.Solve(ctx, f.Copy(), budget)
 				}
 				if r.Status == sat.Sat {
 					if err := verify.CheckModel(f, r.Model); err != nil {

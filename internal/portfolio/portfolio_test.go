@@ -78,7 +78,7 @@ func TestPortfolioRejectsInvalidModels(t *testing.T) {
 	f.Add(2)
 	liar := Entrant{
 		Name: "liar",
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
 			return sat.Result{Status: sat.Sat, Model: []bool{false, false}}
 		},
 	}
@@ -119,7 +119,7 @@ func TestPortfolioCertifiedRejectsLyingUnsat(t *testing.T) {
 	f.Add(1, 2)
 	liar := Entrant{
 		Name: "unsat-liar",
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
 			return sat.Result{Status: sat.Unsat}
 		},
 	}
@@ -138,7 +138,7 @@ func TestPortfolioFirstWinnerCancellation(t *testing.T) {
 	slow := func(name string) Entrant {
 		return Entrant{
 			Name: name,
-			Solve: func(f *cnf.Formula, budget int64) sat.Result {
+			Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
 				time.Sleep(2 * time.Millisecond)
 				return sat.Result{Status: sat.Unknown} // never concludes
 			},
@@ -163,7 +163,7 @@ func TestPortfolioCancelWhileRacing(t *testing.T) {
 	f.Add(1, 2, 3)
 	stuck := Entrant{
 		Name: "stuck",
-		Solve: func(f *cnf.Formula, budget int64) sat.Result {
+		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
 			time.Sleep(time.Millisecond)
 			return sat.Result{Status: sat.Unknown}
 		},
