@@ -34,7 +34,22 @@ HYQSAT_PERF_GATE=1 go test -run=TestNopTracerKernelOverhead -count=1 -v ./intern
 # Trace round-trip smoke: record a real solve with -trace, then replay the
 # JSONL through the obs reader (exercised end-to-end by the CLI test).
 go test -run='TestCLITraceStreamReconstructsFigures|TestCLIFlightRecorder' -count=1 ./cmd/hyqsat
+# CDCL arena gates: steady-state propagation and conflict analysis must stay
+# allocation-free, reduceDB must leave no dead cref behind, and the randomized
+# certification corpus (model-checked SAT, DRAT-checked UNSAT, config
+# agreement) must hold under the race detector.
+go test -run='TestPropagateSteadyStateAllocs|TestAnalyzeSteadyStateAllocs|TestNoDeletedWatchersAfterReduce|TestSolveDeterministicAcrossGC' -count=1 ./internal/sat
+go test -race -count=1 -run='TestCDCLCorpusCertified|TestCDCLCorpusDifferential' ./internal/verify
 # Sampler perf smoke: the kernel must stay 0 allocs/op, and the baseline
 # file tracks the numbers this host produced.
 go test -run='^$' -bench=BenchmarkSampleOnce -benchmem -benchtime=10x .
 go run ./cmd/benchreport
+# CDCL perf regression gate (opt-in): rerun the cdcl suite and fail on any
+# ns/op regression beyond 25% against the committed snapshot. The wide
+# threshold absorbs scheduler noise on small hosts; tighten it on quiet
+# dedicated hardware. Regenerate the snapshot with
+# `go run ./cmd/benchreport -suite cdcl` after intentional perf changes
+# (the pre_refactor section is preserved automatically).
+if [ "${HYQSAT_PERF_GATE:-0}" = "1" ]; then
+	go run ./cmd/benchreport -compare BENCH_cdcl.json -threshold 25
+fi

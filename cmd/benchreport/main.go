@@ -1,13 +1,26 @@
-// Command benchreport runs the sampler micro-benchmarks (the same workloads
-// as the root BenchmarkSampleOnce / BenchmarkSamplerParallel) programmatically
-// and writes a machine-readable baseline to BENCH_baseline.json, so future
-// changes have a perf trajectory to compare against.
+// Command benchreport runs the repository's micro-benchmarks programmatically
+// and writes machine-readable baselines, so future changes have a perf
+// trajectory to compare against. Two suites exist:
+//
+//   - sampler (default): the QA sweep-kernel workloads of the root
+//     BenchmarkSampleOnce / BenchmarkSamplerParallel → BENCH_baseline.json
+//   - cdcl: the CDCL solver workloads of internal/sat's BenchmarkPropagate /
+//     BenchmarkSolveUF → BENCH_cdcl.json
 //
 // Usage:
 //
-//	benchreport                 # write/update BENCH_baseline.json
-//	benchreport -o report.json  # write elsewhere
-//	benchreport -stdout         # print instead of writing
+//	benchreport                          # sampler suite → BENCH_baseline.json
+//	benchreport -suite cdcl              # cdcl suite → BENCH_cdcl.json
+//	benchreport -suite cdcl -o out.json  # write elsewhere
+//	benchreport -stdout                  # print instead of writing
+//	benchreport -compare BENCH_cdcl.json # regression gate: rerun the snapshot's
+//	                                     # suite, print a delta table, exit 1 if
+//	                                     # any ns/op regressed > -threshold %
+//	benchreport -compare BENCH_cdcl.json -threshold 25
+//
+// The cdcl snapshot additionally carries a pre_refactor section — the same
+// workloads measured against the pre-arena clause representation — which is
+// preserved verbatim across rewrites so the refactor's win stays on record.
 package main
 
 import (
@@ -20,6 +33,7 @@ import (
 
 	"hyqsat/internal/anneal"
 	"hyqsat/internal/bench"
+	"hyqsat/internal/sat"
 )
 
 // readsPerCall mirrors the root BenchmarkSamplerParallel workload.
@@ -31,10 +45,11 @@ type benchResult struct {
 	NsPerOp       float64 `json:"ns_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
 }
 
 type report struct {
+	Suite      string `json:"suite,omitempty"`
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
@@ -43,50 +58,55 @@ type report struct {
 	// ParallelSpeedup4W is samples/sec at 4 workers over serial. ≥2× is the
 	// expectation on a ≥4-core machine; on fewer cores the pool can only
 	// reach ≈NumCPU×, which NumCPU above documents.
-	ParallelSpeedup4W float64       `json:"parallel_speedup_4w"`
+	ParallelSpeedup4W float64       `json:"parallel_speedup_4w,omitempty"`
 	Benchmarks        []benchResult `json:"benchmarks"`
+	// PreRefactor holds reference numbers recorded before a landmark change
+	// (for the cdcl suite: the pre-arena clause representation). It is
+	// carried through rewrites and never regenerated.
+	PreRefactor []benchResult `json:"pre_refactor,omitempty"`
 }
 
 func run(name string, samplesPerOp int, fn func(b *testing.B)) benchResult {
 	r := testing.Benchmark(fn)
 	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-	return benchResult{
-		Name:          name,
-		Iterations:    r.N,
-		NsPerOp:       nsPerOp,
-		BytesPerOp:    r.AllocedBytesPerOp(),
-		AllocsPerOp:   r.AllocsPerOp(),
-		SamplesPerSec: float64(samplesPerOp) * 1e9 / nsPerOp,
+	res := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     nsPerOp,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if samplesPerOp > 0 {
+		res.SamplesPerSec = float64(samplesPerOp) * 1e9 / nsPerOp
+	}
+	return res
 }
 
-func main() {
-	out := flag.String("o", "BENCH_baseline.json", "output path")
-	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
-	flag.Parse()
-
-	ep, err := bench.BuildSampleFixture(1, 30, 110)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
-	}
-
-	rep := report{
+func hostReport(suite string) report {
+	return report{
+		Suite:      suite,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+}
 
+func samplerSuite() (report, error) {
+	ep, err := bench.BuildSampleFixture(1, 30, 110)
+	if err != nil {
+		return report{}, err
+	}
+	rep := hostReport("sampler")
 	rep.Benchmarks = append(rep.Benchmarks, run("SampleOnce", 1, func(b *testing.B) {
 		s := anneal.NewSampler(anneal.DefaultSchedule(), anneal.DWave2000QNoise, 7)
-		var outSample anneal.Sample
-		s.SampleInto(ep, &outSample) // warm up scratch buffers
+		var out anneal.Sample
+		s.SampleInto(ep, &out) // warm up scratch buffers
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			s.SampleInto(ep, &outSample)
+			s.SampleInto(ep, &out)
 		}
 	}))
 
@@ -112,22 +132,172 @@ func main() {
 	if serial > 0 {
 		rep.ParallelSpeedup4W = four / serial
 	}
+	return rep, nil
+}
+
+// cdclSuite runs the CDCL solver workloads — identical to internal/sat's
+// BenchmarkPropagate and BenchmarkSolveUF, so `go test -bench` numbers and
+// snapshot numbers are directly comparable.
+func cdclSuite() (report, error) {
+	f := bench.BuildCDCLFixture()
+	pb, err := sat.NewPropagateBench(f, sat.MiniSATOptions(), 2000)
+	if err != nil {
+		return report{}, err
+	}
+	rep := hostReport("cdcl")
+	rep.Benchmarks = append(rep.Benchmarks, run("Propagate/uf100", 0, func(b *testing.B) {
+		pb.Run() // warm scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pb.Run()
+		}
+	}))
+	rep.Benchmarks = append(rep.Benchmarks, run("SolveUF/uf100", 0, func(b *testing.B) {
+		opts := sat.MiniSATOptions()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := sat.New(f, opts).Solve(); r.Status != sat.Sat {
+				panic("benchreport: cdcl fixture must be satisfiable")
+			}
+		}
+	}))
+	return rep, nil
+}
+
+func runSuite(suite string) (report, error) {
+	switch suite {
+	case "sampler":
+		return samplerSuite()
+	case "cdcl":
+		return cdclSuite()
+	default:
+		return report{}, fmt.Errorf("unknown suite %q (want sampler or cdcl)", suite)
+	}
+}
+
+func defaultOut(suite string) string {
+	if suite == "cdcl" {
+		return "BENCH_cdcl.json"
+	}
+	return "BENCH_baseline.json"
+}
+
+func loadReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compareReports renders a per-benchmark delta table between a prior snapshot
+// and a fresh run, and reports whether any benchmark regressed beyond
+// thresholdPct percent in ns/op. Benchmarks present on only one side are
+// listed but never count as regressions.
+func compareReports(old, cur report, thresholdPct float64) (string, bool) {
+	out := fmt.Sprintf("%-28s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	oldByName := map[string]benchResult{}
+	for _, b := range old.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	regressed := false
+	for _, nb := range cur.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			out += fmt.Sprintf("%-28s %14s %14.0f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delete(oldByName, nb.Name)
+		deltaPct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		mark := ""
+		if deltaPct > thresholdPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		out += fmt.Sprintf("%-28s %14.0f %14.0f %+8.1f%%%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, deltaPct, mark)
+	}
+	for name, ob := range oldByName {
+		out += fmt.Sprintf("%-28s %14.0f %14s %9s\n", name, ob.NsPerOp, "-", "gone")
+	}
+	return out, regressed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}
+
+func main() {
+	suite := flag.String("suite", "sampler", "benchmark suite: sampler or cdcl")
+	out := flag.String("o", "", "output path (default depends on suite)")
+	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
+	compare := flag.String("compare", "", "prior snapshot to compare against (regression gate; no file is written)")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold for -compare, in percent")
+	flag.Parse()
+
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		s := *suite
+		if old.Suite != "" {
+			s = old.Suite // the snapshot knows which suite produced it
+		}
+		cur, err := runSuite(s)
+		if err != nil {
+			fatal(err)
+		}
+		table, regressed := compareReports(old, cur, *threshold)
+		fmt.Printf("benchreport: %s suite vs %s (threshold %.0f%%)\n%s", s, *compare, *threshold, table)
+		if regressed {
+			fmt.Println("benchreport: FAIL — ns/op regression beyond threshold")
+			os.Exit(1)
+		}
+		fmt.Println("benchreport: ok — no regression beyond threshold")
+		return
+	}
+
+	rep, err := runSuite(*suite)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = defaultOut(*suite)
+	}
+	// Preserve a previously recorded pre-refactor section verbatim.
+	if prev, err := loadReport(path); err == nil && len(prev.PreRefactor) > 0 {
+		rep.PreRefactor = prev.PreRefactor
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	data = append(data, '\n')
 	if *stdout {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
-		*out, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
-		rep.ParallelSpeedup4W, rep.NumCPU)
+	switch *suite {
+	case "cdcl":
+		fmt.Printf("benchreport: wrote %s (Propagate %.0f ns/op %d allocs/op, SolveUF %.2f ms/op)\n",
+			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
+			rep.Benchmarks[1].NsPerOp/1e6)
+	default:
+		fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
+			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
+			rep.ParallelSpeedup4W, rep.NumCPU)
+	}
 }

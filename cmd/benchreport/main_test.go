@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(suite string, pairs ...interface{}) report {
+	r := report{Suite: suite}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Benchmarks = append(r.Benchmarks, benchResult{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompareReportsNoRegression(t *testing.T) {
+	old := mkReport("cdcl", "Propagate/uf100", 80000.0, "SolveUF/uf100", 2.7e6)
+	cur := mkReport("cdcl", "Propagate/uf100", 84000.0, "SolveUF/uf100", 2.5e6)
+	table, regressed := compareReports(old, cur, 10)
+	if regressed {
+		t.Fatalf("+5%% / -7%% flagged as regression at 10%% threshold:\n%s", table)
+	}
+	if strings.Contains(table, "REGRESSION") {
+		t.Fatalf("table marks a regression none occurred:\n%s", table)
+	}
+}
+
+func TestCompareReportsRegression(t *testing.T) {
+	old := mkReport("cdcl", "Propagate/uf100", 80000.0, "SolveUF/uf100", 2.7e6)
+	cur := mkReport("cdcl", "Propagate/uf100", 92000.0, "SolveUF/uf100", 2.7e6)
+	table, regressed := compareReports(old, cur, 10)
+	if !regressed {
+		t.Fatalf("+15%% not flagged at 10%% threshold:\n%s", table)
+	}
+	if !strings.Contains(table, "REGRESSION") {
+		t.Fatalf("regression not marked in table:\n%s", table)
+	}
+	// Raising the threshold clears it.
+	if _, regressed := compareReports(old, cur, 20); regressed {
+		t.Fatal("+15% flagged at 20% threshold")
+	}
+}
+
+func TestCompareReportsExactThresholdPasses(t *testing.T) {
+	old := mkReport("cdcl", "Propagate/uf100", 100000.0)
+	cur := mkReport("cdcl", "Propagate/uf100", 110000.0)
+	if _, regressed := compareReports(old, cur, 10); regressed {
+		t.Fatal("delta exactly at threshold must pass (strictly-greater gate)")
+	}
+}
+
+func TestCompareReportsDisjointBenchmarks(t *testing.T) {
+	old := mkReport("cdcl", "Propagate/uf100", 80000.0, "Retired/bench", 1000.0)
+	cur := mkReport("cdcl", "Propagate/uf100", 81000.0, "Shiny/bench", 500.0)
+	table, regressed := compareReports(old, cur, 10)
+	if regressed {
+		t.Fatalf("added/removed benchmarks must not count as regressions:\n%s", table)
+	}
+	if !strings.Contains(table, "new") || !strings.Contains(table, "gone") {
+		t.Fatalf("table must list one-sided benchmarks:\n%s", table)
+	}
+}

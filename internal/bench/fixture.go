@@ -5,6 +5,7 @@ import (
 
 	"hyqsat/internal/anneal"
 	"hyqsat/internal/chimera"
+	"hyqsat/internal/cnf"
 	"hyqsat/internal/embed"
 	"hyqsat/internal/gen"
 	"hyqsat/internal/qubo"
@@ -30,4 +31,12 @@ func BuildSampleFixture(seed int64, numVars, numClauses int) (*anneal.EmbeddedPr
 	norm, _ := sub.Poly.Normalized()
 	is := norm.ToIsing()
 	return anneal.EmbedIsing(is, res.Embedding, g, anneal.ChainStrengthFor(is)), nil
+}
+
+// BuildCDCLFixture returns the uf100-430 instance shared by the CDCL
+// micro-benchmarks (internal/sat BenchmarkPropagate / BenchmarkSolveUF and
+// cmd/benchreport -suite cdcl): a satisfiable uniform random 3-SAT instance
+// at the phase-transition clause/variable ratio, deterministic by seed.
+func BuildCDCLFixture() *cnf.Formula {
+	return gen.SatisfiableRandom3SAT(100, 430, 1).Formula
 }

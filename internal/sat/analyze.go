@@ -18,25 +18,23 @@ func (s *Solver) analyze(conflict cref) (learnt []cnf.Lit, backjump int32) {
 	idx := len(s.trail) - 1
 	c := conflict
 
-	var bumped []cnf.Var
+	bumped := s.bumpedBuf[:0]
 	for {
-		cl := &s.clauses[c]
-		if cl.learnt {
-			s.claBump(cl)
+		if s.ca.learnt(c) {
+			s.claBump(c)
 		}
-		if cl.orig >= 0 {
+		if o := s.ca.orig(c); o >= 0 {
 			// Paper §IV-A: "the activity score of the involved clauses in the
 			// backtrack increases by a constant."
-			s.clauseScore[cl.orig] += 1.0
+			s.clauseScore[o] += 1.0
 			if s.confVisits != nil {
-				s.confVisits[cl.orig]++
+				s.confVisits[o]++
 			}
 		}
-		start := 0
-		if p != cnf.NoLit {
-			start = 1 // lits[0] is p itself after the swap in propagate
-		}
-		for _, q := range cl.lits[start:] {
+		// Resolve over every literal but p. (For binary clauses implied via
+		// the watcher fast path the implied literal is not necessarily at
+		// lits[0], so no positional shortcut is taken here.)
+		for _, q := range s.ca.lits(c) {
 			if q == p {
 				continue
 			}
@@ -105,6 +103,7 @@ func (s *Solver) analyze(conflict cref) (learnt []cnf.Lit, backjump int32) {
 		s.seen[v] = false
 	}
 	s.analyzeBuf = learnt
+	s.bumpedBuf = bumped[:0]
 	return learnt, backjump
 }
 
@@ -115,7 +114,7 @@ func (s *Solver) litRedundant(q cnf.Lit) bool {
 	if r == crefUndef {
 		return false
 	}
-	for _, l := range s.clauses[r].lits {
+	for _, l := range s.ca.lits(r) {
 		if l.Var() == q.Var() {
 			continue
 		}
@@ -143,13 +142,18 @@ func (s *Solver) bumpOnConflict(v cnf.Var) {
 }
 
 // computeLBD counts the distinct decision levels among the clause literals
-// (the "literal block distance" glue metric).
+// (the "literal block distance" glue metric). It stamps a per-level scratch
+// slice instead of building a set, so it allocates nothing.
 func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
-	seen := make(map[int32]struct{}, len(lits))
+	s.lbdStamp++
+	var n int32
 	for _, l := range lits {
-		seen[s.level[l.Var()]] = struct{}{}
+		if lvl := s.level[l.Var()]; s.lbdSeen[lvl] != s.lbdStamp {
+			s.lbdSeen[lvl] = s.lbdStamp
+			n++
+		}
 	}
-	return int32(len(seen))
+	return n
 }
 
 // handleConflict learns from the conflict and backjumps. It returns false
@@ -184,8 +188,8 @@ func (s *Solver) handleConflict(conflict cref) bool {
 		}
 	} else {
 		c := s.attachClause(learnt, true, -1)
-		s.clauses[c].lbd = s.computeLBD(learnt)
-		lbd = s.clauses[c].lbd
+		lbd = s.computeLBD(learnt)
+		s.ca.setLBD(c, lbd)
 		s.stats.Learned++
 		if !s.enqueue(learnt[0], c) {
 			panic("sat: asserting literal already false after backjump")

@@ -46,7 +46,7 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 					}
 				} else {
 					c := s.attachClause(learnt, true, -1)
-					s.clauses[c].lbd = s.computeLBD(learnt)
+					s.ca.setLBD(c, s.computeLBD(learnt))
 					s.stats.Learned++
 					if !s.enqueue(learnt[0], c) {
 						s.status = Unsat

@@ -1,0 +1,46 @@
+package sat_test
+
+import (
+	"testing"
+
+	"hyqsat/internal/bench"
+	"hyqsat/internal/sat"
+)
+
+// BenchmarkPropagate measures steady-state unit-propagation throughput on the
+// shared uf100 fixture: a model-consistent decision replay over a solver
+// whose learnt database was warmed by 2000 conflicts of real search. This is
+// the hot loop the arena layout exists for; cmd/benchreport -suite cdcl runs
+// the identical workload and BENCH_cdcl.json tracks the numbers.
+func BenchmarkPropagate(b *testing.B) {
+	f := bench.BuildCDCLFixture()
+	pb, err := sat.NewPropagateBench(f, sat.MiniSATOptions(), 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	props := pb.Run() // warm scratch buffers
+	if props == 0 {
+		b.Fatal("replay performed no propagations")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total += pb.Run()
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "props/op")
+}
+
+// BenchmarkSolveUF measures an end-to-end CDCL solve of the uf100 fixture
+// (construction included, as a user would run it).
+func BenchmarkSolveUF(b *testing.B) {
+	f := bench.BuildCDCLFixture()
+	opts := sat.MiniSATOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := sat.New(f, opts).Solve(); r.Status != sat.Sat {
+			b.Fatal("fixture must be satisfiable")
+		}
+	}
+}

@@ -126,6 +126,7 @@ type Stats struct {
 	Learned      int64
 	Removed      int64
 	Minimized    int64 // literals deleted by clause minimisation
+	ArenaGCs     int64 // clause-arena compactions (one per reducing reduceDB)
 	MaxTrail     int
 }
 

@@ -125,7 +125,7 @@ func (s *Solver) restartBudget() int64 {
 func (s *Solver) updateRestartEMA() {
 	var lbd float64
 	if len(s.learnts) > 0 {
-		lbd = float64(s.clauses[s.learnts[len(s.learnts)-1]].lbd)
+		lbd = float64(s.ca.lbd(s.learnts[len(s.learnts)-1]))
 	} else {
 		lbd = 1
 	}
@@ -188,12 +188,14 @@ func luby(y float64, x int64) int64 {
 
 // reduceDB removes roughly half of the learnt clauses, keeping the most
 // valuable ones (by activity or LBD depending on the configured mode) and
-// never removing reason clauses of current assignments.
+// never removing reason clauses of current assignments. When anything was
+// removed it finishes with garbageCollect, which compacts the arena and
+// purges every dead watcher and learnt-list entry — deleted clauses never
+// survive a reduce.
 func (s *Solver) reduceDB() {
-	live := s.learnts[:0]
-	var candidates []cref
+	candidates := s.redBuf[:0]
 	for _, c := range s.learnts {
-		if s.clauses[c].deleted {
+		if s.ca.deleted(c) {
 			continue
 		}
 		candidates = append(candidates, c)
@@ -201,38 +203,47 @@ func (s *Solver) reduceDB() {
 	switch s.opts.Reduce {
 	case ReduceByLBD:
 		sort.Slice(candidates, func(i, j int) bool {
-			ci, cj := &s.clauses[candidates[i]], &s.clauses[candidates[j]]
-			if ci.lbd != cj.lbd {
-				return ci.lbd < cj.lbd
+			li, lj := s.ca.lbd(candidates[i]), s.ca.lbd(candidates[j])
+			if li != lj {
+				return li < lj
 			}
-			return ci.act > cj.act
+			return s.ca.act(candidates[i]) > s.ca.act(candidates[j])
 		})
 	default:
 		sort.Slice(candidates, func(i, j int) bool {
-			return s.clauses[candidates[i]].act > s.clauses[candidates[j]].act
+			return s.ca.act(candidates[i]) > s.ca.act(candidates[j])
 		})
 	}
 	keep := len(candidates) / 2
+	live := s.learnts[:0]
+	removed := 0
 	for i, c := range candidates {
-		cl := &s.clauses[c]
-		protected := s.isReason(c) || len(cl.lits) == 2 ||
-			(s.opts.Reduce == ReduceByLBD && cl.lbd <= 2)
+		protected := s.isReason(c) || s.ca.size(c) == 2 ||
+			(s.opts.Reduce == ReduceByLBD && s.ca.lbd(c) <= 2)
 		if i < keep || protected {
 			live = append(live, c)
 			continue
 		}
-		cl.deleted = true
-		s.proofDelete(cl.lits)
-		cl.lits = nil
+		s.proofDelete(s.ca.lits(c))
+		s.ca.delete(c)
 		s.stats.Removed++
+		removed++
 	}
 	s.learnts = live
+	s.redBuf = candidates[:0]
 	s.maxLearnts *= 1.1
+	if removed > 0 {
+		s.garbageCollect()
+	}
 }
 
-// isReason reports whether clause c is the antecedent of a current assignment.
+// isReason reports whether clause c is the antecedent of a current
+// assignment. For non-binary clauses propagation keeps the implied literal at
+// lits[0]; binary clauses implied through the watcher fast path do not
+// maintain that invariant, but they are unconditionally protected from
+// reduction by their size, so the positional check stays sufficient.
 func (s *Solver) isReason(c cref) bool {
-	lits := s.clauses[c].lits
+	lits := s.ca.lits(c)
 	if len(lits) == 0 {
 		return false
 	}

@@ -7,22 +7,10 @@ import (
 	"hyqsat/internal/obs"
 )
 
-// cref indexes the solver's clause arena.
-type cref int32
-
-const crefUndef cref = -1
-
-type clause struct {
-	lits    []cnf.Lit
-	act     float64
-	lbd     int32
-	learnt  bool
-	deleted bool
-	orig    int // index of the originating input clause; -1 for learnt clauses
-}
-
 // watcher is one entry of a literal's watch list. blocker is a literal of the
 // clause that, when already true, lets propagation skip inspecting the clause.
+// For binary clauses (c carries the binRef encoding) the blocker IS the whole
+// rest of the clause: propagation implies it directly without an arena visit.
 type watcher struct {
 	c       cref
 	blocker cnf.Lit
@@ -35,9 +23,11 @@ type Solver struct {
 	rng     *rand.Rand
 	formula *cnf.Formula // the (cleaned) input, for model checking and hybrid hooks
 
-	clauses []clause // arena: problem clauses first, then learnt clauses
-	problem []cref   // refs of problem clauses
-	learnts []cref   // refs of live learnt clauses
+	ca      clauseArena // flat clause store: problem and learnt records interleaved
+	problem []cref      // refs of problem clauses
+	learnts []cref      // refs of live learnt clauses
+	gcBuf   []cnf.Lit   // spare arena backing, swapped in by garbageCollect
+	redBuf  []cref      // reduceDB candidate scratch
 
 	watches [][]watcher // indexed by Lit
 
@@ -59,9 +49,14 @@ type Solver struct {
 	chbAlpha     float64
 	lastConflict []int64
 
-	// Conflict analysis scratch.
+	// Conflict analysis scratch (reused across conflicts so the steady-state
+	// analyze path performs zero allocations; gate-enforced by
+	// TestAnalyzeSteadyStateAllocs).
 	seen       []bool
 	analyzeBuf []cnf.Lit
+	bumpedBuf  []cnf.Var
+	lbdSeen    []int64 // per-level stamp for computeLBD
+	lbdStamp   int64
 
 	// Paper §IV-A: per-input-clause activity, bumped when the clause is
 	// involved in resolving a conflict. Starts at 1.
@@ -128,6 +123,8 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		assigns:  make([]cnf.Value, n),
 		level:    make([]int32, n),
 		reason:   make([]cref, n),
+		trail:    make([]cnf.Lit, 0, n),
+		trailLim: make([]int, 0, n),
 		polarity: make([]bool, n),
 		varAct:   make([]float64, n),
 		varInc:   1.0,
@@ -137,10 +134,20 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		lastConflict: make([]int64, n),
 
 		seen:        make([]bool, n),
+		analyzeBuf:  make([]cnf.Lit, 0, n+1),
+		bumpedBuf:   make([]cnf.Var, 0, n),
+		lbdSeen:     make([]int64, n+1),
 		clauseScore: make([]float64, len(f.Clauses)),
 
 		status: Unknown,
 	}
+	// Size the arena for the problem clauses up front; learnt records extend
+	// it with ordinary amortised appends.
+	words := 0
+	for _, c := range f.Clauses {
+		words += clauseHeaderWords + len(c)
+	}
+	s.ca.data = make([]cnf.Lit, 0, words)
 	for i := range s.reason {
 		s.reason[i] = crefUndef
 	}
@@ -200,20 +207,22 @@ func (s *Solver) Status() Status { return s.status }
 func (s *Solver) Model() []bool { return s.model }
 
 func (s *Solver) attachClause(lits cnf.Clause, learnt bool, orig int) cref {
-	c := cref(len(s.clauses))
-	s.clauses = append(s.clauses, clause{
-		lits:   append(cnf.Clause(nil), lits...),
-		learnt: learnt,
-		orig:   orig,
-	})
+	c := s.ca.alloc(lits, learnt, orig)
 	if learnt {
 		s.learnts = append(s.learnts, c)
-		s.clauses[c].act = s.claInc
+		s.ca.setAct(c, s.claInc)
 	} else {
 		s.problem = append(s.problem, c)
 	}
-	s.watch(lits[0], watcher{c, lits[1]})
-	s.watch(lits[1], watcher{c, lits[0]})
+	// Binary clauses propagate without an arena visit: the watcher's blocker
+	// doubles as the implied literal, and the binRef-encoded cref both flags
+	// the fast path and still names the record (for reasons and conflicts).
+	w := c
+	if len(lits) == 2 {
+		w = binRef(c)
+	}
+	s.watch(lits[0], watcher{w, lits[1]})
+	s.watch(lits[1], watcher{w, lits[0]})
 	return c
 }
 
@@ -290,8 +299,12 @@ func (s *Solver) cancelUntil(lvl int32) {
 // pickBranchVar pops the most active unassigned variable (occasionally a
 // random one, per Options.RandomFreq).
 func (s *Solver) pickBranchVar() cnf.Var {
-	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq {
-		// Random decision: sample an unassigned variable.
+	if s.opts.RandomFreq > 0 && len(s.assigns) > 0 &&
+		s.rng.Float64() < s.opts.RandomFreq {
+		// Random decision: sample an unassigned variable. Near a full
+		// assignment all 16 probes can hit assigned variables; the activity
+		// heap below is the explicit fallback, so a random round never
+		// returns NoVar while unassigned variables remain.
 		for tries := 0; tries < 16; tries++ {
 			v := cnf.Var(s.rng.Intn(len(s.assigns)))
 			if s.assigns[v] == cnf.Undef {
@@ -325,11 +338,14 @@ func (s *Solver) varDecayActivity() {
 	s.varInc /= s.opts.VarDecay
 }
 
-func (s *Solver) claBump(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e20 {
+func (s *Solver) claBump(c cref) {
+	act := s.ca.act(c) + s.claInc
+	s.ca.setAct(c, act)
+	if act > 1e20 {
+		// Rescale every live learnt clause. garbageCollect purges deleted
+		// crefs from s.learnts, so this loop never touches dead records.
 		for _, ref := range s.learnts {
-			s.clauses[ref].act *= 1e-20
+			s.ca.setAct(ref, s.ca.act(ref)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}

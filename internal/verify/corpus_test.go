@@ -1,0 +1,109 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+// TestCDCLCorpusCertified is the arena-refactor certification corpus: a
+// randomized mix of uf20–uf100-scale 3-SAT instances straddling the phase
+// transition (so both SAT and UNSAT occur), where every solve is certified —
+// model-checked on SAT, DRAT/RUP-checked on UNSAT — across both baseline
+// configurations. check.sh runs it under the race detector.
+func TestCDCLCorpusCertified(t *testing.T) {
+	instances := 40
+	if testing.Short() {
+		instances = 10
+	}
+	rng := rand.New(rand.NewSource(20260806))
+	configs := map[string]sat.Options{
+		"minisat": sat.MiniSATOptions(),
+		"kissat":  sat.KissatOptions(),
+	}
+	var sats, unsats int
+	for i := 0; i < instances; i++ {
+		n := 20 + rng.Intn(81)           // 20..100 variables
+		ratio := 3.6 + rng.Float64()*1.6 // 3.6..5.2 clause/var
+		f := cnf.New(n)
+		for c := 0; c < int(ratio*float64(n)); c++ {
+			perm := rng.Perm(n)[:3]
+			cl := make(cnf.Clause, 3)
+			for j, v := range perm {
+				cl[j] = cnf.MkLit(cnf.Var(v), rng.Intn(2) == 1)
+			}
+			f.AddClause(cl)
+		}
+		var verdicts []sat.Status
+		for name, opts := range configs {
+			rec := NewRecorder()
+			s := sat.New(f.Copy(), opts)
+			s.SetProofWriter(rec)
+			r := s.Solve()
+			verdicts = append(verdicts, r.Status)
+			switch r.Status {
+			case sat.Sat:
+				if err := CheckModel(f, r.Model); err != nil {
+					t.Fatalf("instance %d (%s, n=%d): invalid model: %v", i, name, n, err)
+				}
+			case sat.Unsat:
+				if err := CheckUnsatProof(f, rec.Proof()); err != nil {
+					t.Fatalf("instance %d (%s, n=%d): DRAT proof rejected: %v\n%s",
+						i, name, n, err, cnf.DIMACSString(f))
+				}
+			default:
+				t.Fatalf("instance %d (%s): Unknown without a budget", i, name)
+			}
+		}
+		for _, v := range verdicts[1:] {
+			if v != verdicts[0] {
+				t.Fatalf("instance %d: configs disagree: %v", i, verdicts)
+			}
+		}
+		if verdicts[0] == sat.Sat {
+			sats++
+		} else {
+			unsats++
+		}
+	}
+	if sats == 0 || unsats == 0 {
+		t.Fatalf("corpus was one-sided: %d SAT / %d UNSAT — widen the ratio range", sats, unsats)
+	}
+	t.Logf("certified %d instances (%d SAT, %d UNSAT)", instances, sats, unsats)
+}
+
+// TestCDCLCorpusDifferential cross-checks the arena-based solver against the
+// reference DPLL oracle on a fresh randomized corpus (beyond the standing
+// TestDiffRandom* harness, this one pins the post-refactor solver at uf-scale
+// sizes with shrinking on failure).
+func TestCDCLCorpusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential corpus is slow; run without -short")
+	}
+	solvers := []DiffSolver{
+		{Name: "minisat-arena", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			r := sat.New(f, sat.MiniSATOptions()).Solve()
+			return r.Status, r.Model
+		}},
+		{Name: "kissat-arena", Solve: func(f *cnf.Formula) (sat.Status, []bool) {
+			r := sat.New(f, sat.KissatOptions()).Solve()
+			return r.Status, r.Model
+		}},
+	}
+	ds, satN, unsatN := DiffRandom(DiffConfig{
+		Instances: 150,
+		MinVars:   10,
+		MaxVars:   24,
+		MinRatio:  3.4,
+		MaxRatio:  5.4,
+		Seed:      624,
+	}, solvers)
+	if len(ds) > 0 {
+		t.Fatal(FormatDisagreements(ds))
+	}
+	if satN == 0 || unsatN == 0 {
+		t.Fatalf("differential corpus one-sided: %d/%d", satN, unsatN)
+	}
+}
