@@ -40,6 +40,16 @@ go test -run='TestCLITraceStreamReconstructsFigures|TestCLIFlightRecorder' -coun
 # agreement) must hold under the race detector.
 go test -run='TestPropagateSteadyStateAllocs|TestAnalyzeSteadyStateAllocs|TestNoDeletedWatchersAfterReduce|TestSolveDeterministicAcrossGC' -count=1 ./internal/sat
 go test -race -count=1 -run='TestCDCLCorpusCertified|TestCDCLCorpusDifferential' ./internal/verify
+# Sharing-soundness gate: the randomized clause-sharing corpus (model-checked
+# SAT, shared-proof-checked UNSAT), adversarial bus injection, the QA chaos
+# matrix and the stitched cube proofs, all under the race detector — the bus
+# and the cube scheduler are the most concurrent code in the repo.
+go test -race -count=1 -run='TestSharingSoundnessCorpus|TestSharingAdversarialInjection|TestSharingChaosMatrix|TestCubesPartitionSearchSpace|TestCubeStitchedProofRoundTrip|TestCubeDeterminismSingleWorker' ./internal/portfolio
+# Sharing hot-path alloc gates (run without -race: the detector's own
+# bookkeeping allocates): clause import into the arena and bus export
+# filtering must stay allocation-free in steady state.
+go test -run='TestImportHotPathAllocs|TestImportSteadyStateAllocs|TestInterruptStopsSearchAndRearms' -count=1 ./internal/sat
+go test -run='TestBusExportHotPathAllocs' -count=1 ./internal/portfolio
 # Sampler perf smoke: the kernel must stay 0 allocs/op, and the baseline
 # file tracks the numbers this host produced.
 go test -run='^$' -bench=BenchmarkSampleOnce -benchmem -benchtime=10x .
@@ -52,4 +62,9 @@ go run ./cmd/benchreport
 # (the pre_refactor section is preserved automatically).
 if [ "${HYQSAT_PERF_GATE:-0}" = "1" ]; then
 	go run ./cmd/benchreport -compare BENCH_cdcl.json -threshold 25
+	# Cube-and-conquer scaling gate: rerun the portfolio suite against the
+	# CubeConquer rows of the same snapshot. Parallel wall-clock numbers on
+	# a small shared host swing much more than single-threaded ones, so the
+	# threshold is wider.
+	go run ./cmd/benchreport -suite portfolio -compare BENCH_cdcl.json -threshold 60
 fi

@@ -1,22 +1,29 @@
 // Command benchreport runs the repository's micro-benchmarks programmatically
 // and writes machine-readable baselines, so future changes have a perf
-// trajectory to compare against. Two suites exist:
+// trajectory to compare against. Three suites exist:
 //
 //   - sampler (default): the QA sweep-kernel workloads of the root
 //     BenchmarkSampleOnce / BenchmarkSamplerParallel → BENCH_baseline.json
 //   - cdcl: the CDCL solver workloads of internal/sat's BenchmarkPropagate /
 //     BenchmarkSolveUF → BENCH_cdcl.json
+//   - portfolio: cube-and-conquer wall-clock scaling on the uf100/uuf100
+//     family at 1/2/4 workers, merged by benchmark name into BENCH_cdcl.json
+//     (the CDCL snapshot keeps its suite tag and existing entries)
 //
 // Usage:
 //
 //	benchreport                          # sampler suite → BENCH_baseline.json
 //	benchreport -suite cdcl              # cdcl suite → BENCH_cdcl.json
+//	benchreport -suite portfolio         # scaling suite merged into BENCH_cdcl.json
 //	benchreport -suite cdcl -o out.json  # write elsewhere
 //	benchreport -stdout                  # print instead of writing
 //	benchreport -compare BENCH_cdcl.json # regression gate: rerun the snapshot's
 //	                                     # suite, print a delta table, exit 1 if
 //	                                     # any ns/op regressed > -threshold %
 //	benchreport -compare BENCH_cdcl.json -threshold 25
+//	benchreport -suite portfolio -compare BENCH_cdcl.json
+//	                                     # an explicit -suite overrides the
+//	                                     # snapshot's suite tag in -compare
 //
 // The cdcl snapshot additionally carries a pre_refactor section — the same
 // workloads measured against the pre-arena clause representation — which is
@@ -24,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,9 @@ import (
 
 	"hyqsat/internal/anneal"
 	"hyqsat/internal/bench"
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/gen"
+	"hyqsat/internal/portfolio"
 	"hyqsat/internal/sat"
 )
 
@@ -58,8 +69,14 @@ type report struct {
 	// ParallelSpeedup4W is samples/sec at 4 workers over serial. ≥2× is the
 	// expectation on a ≥4-core machine; on fewer cores the pool can only
 	// reach ≈NumCPU×, which NumCPU above documents.
-	ParallelSpeedup4W float64       `json:"parallel_speedup_4w,omitempty"`
-	Benchmarks        []benchResult `json:"benchmarks"`
+	ParallelSpeedup4W float64 `json:"parallel_speedup_4w,omitempty"`
+	// PortfolioSpeedup4W is cube-and-conquer wall-clock speedup at 4 workers
+	// over 1 on the uf100 family (portfolio suite). On a 2-CPU host the
+	// work-sharing ceiling is ≈2×; SAT instances can exceed it because extra
+	// cubes diversify the search (the first model found wins, so parallel
+	// workers can skip work the serial run must do).
+	PortfolioSpeedup4W float64       `json:"portfolio_speedup_4w,omitempty"`
+	Benchmarks         []benchResult `json:"benchmarks"`
 	// PreRefactor holds reference numbers recorded before a landmark change
 	// (for the cdcl suite: the pre-arena clause representation). It is
 	// carried through rewrites and never regenerated.
@@ -166,22 +183,115 @@ func cdclSuite() (report, error) {
 	return rep, nil
 }
 
+// portfolioSuite measures cube-and-conquer wall-clock scaling at 1, 2 and 4
+// workers with clause sharing on. Three workloads: a uf100 SAT instance whose
+// satisfying cube sits late in the serial cube order (parallel workers reach
+// it early — diversification speedup), a uuf100 UNSAT instance (pure
+// work-sharing), and a uuf150 UNSAT instance whose larger per-cube refutations
+// amortise the scheduler overhead, showing the efficiency ceiling of the
+// host's physical cores. The probe budget is 1 conflict so the split always
+// happens and the conquer phase dominates.
+func portfolioSuite() (report, error) {
+	workloads := []struct {
+		name   string
+		f      *cnf.Formula
+		expect sat.Status
+		depth  int
+	}{
+		{"uf100", gen.SatisfiableRandom3SAT(100, 426, 21).Formula, sat.Sat, 5},
+		{"uuf100", gen.UnsatisfiableRandom3SAT(100, 430, 1).Formula, sat.Unsat, 4},
+		{"uuf150", gen.UnsatisfiableRandom3SAT(150, 645, 3).Formula, sat.Unsat, 4},
+	}
+	rep := hostReport("portfolio")
+	cube := func(name string, f *cnf.Formula, expect sat.Status, depth, workers int) benchResult {
+		return run(fmt.Sprintf("CubeConquer/%s/workers=%d", name, workers), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := portfolio.SolveCubes(context.Background(), f.Copy(),
+					portfolio.CubeOptions{Depth: depth, Workers: workers, ProbeConflicts: 1,
+						Seed: 1, Share: &portfolio.ShareOptions{}})
+				if err != nil {
+					panic("benchreport: cube solve failed: " + err.Error())
+				}
+				if out.Result.Status != expect {
+					panic("benchreport: unexpected cube verdict")
+				}
+			}
+		})
+	}
+	nsPerOp := map[int]float64{}
+	for _, wl := range workloads {
+		for _, w := range []int{1, 2, 4} {
+			res := cube(wl.name, wl.f, wl.expect, wl.depth, w)
+			rep.Benchmarks = append(rep.Benchmarks, res)
+			if wl.name == "uf100" {
+				nsPerOp[w] = res.NsPerOp
+			}
+		}
+	}
+	if one, four := nsPerOp[1], nsPerOp[4]; one > 0 && four > 0 {
+		rep.PortfolioSpeedup4W = one / four
+	}
+	return rep, nil
+}
+
 func runSuite(suite string) (report, error) {
 	switch suite {
 	case "sampler":
 		return samplerSuite()
 	case "cdcl":
 		return cdclSuite()
+	case "portfolio":
+		return portfolioSuite()
 	default:
-		return report{}, fmt.Errorf("unknown suite %q (want sampler or cdcl)", suite)
+		return report{}, fmt.Errorf("unknown suite %q (want sampler, cdcl, or portfolio)", suite)
 	}
 }
 
 func defaultOut(suite string) string {
-	if suite == "cdcl" {
+	// The portfolio scaling numbers live alongside the CDCL snapshot: both
+	// describe the same solver core, and the merge below keeps them in one
+	// trajectory file.
+	if suite == "cdcl" || suite == "portfolio" {
 		return "BENCH_cdcl.json"
 	}
 	return "BENCH_baseline.json"
+}
+
+// mergeReports folds the fresh run into a previous snapshot by benchmark
+// name: same-name entries are replaced, new ones appended, everything else —
+// including the previous suite tag and speedup fields — is preserved. Host
+// metadata is refreshed from the current run.
+func mergeReports(prev, cur report) report {
+	merged := cur
+	if prev.Suite != "" {
+		merged.Suite = prev.Suite
+	}
+	if merged.ParallelSpeedup4W == 0 {
+		merged.ParallelSpeedup4W = prev.ParallelSpeedup4W
+	}
+	if merged.PortfolioSpeedup4W == 0 {
+		merged.PortfolioSpeedup4W = prev.PortfolioSpeedup4W
+	}
+	curByName := map[string]benchResult{}
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	var out []benchResult
+	for _, b := range prev.Benchmarks {
+		if nb, ok := curByName[b.Name]; ok {
+			out = append(out, nb)
+			delete(curByName, b.Name)
+		} else {
+			out = append(out, b)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if _, ok := curByName[b.Name]; ok {
+			out = append(out, b)
+		}
+	}
+	merged.Benchmarks = out
+	return merged
 }
 
 func loadReport(path string) (report, error) {
@@ -235,12 +345,22 @@ func fatal(err error) {
 }
 
 func main() {
-	suite := flag.String("suite", "sampler", "benchmark suite: sampler or cdcl")
+	suite := flag.String("suite", "sampler", "benchmark suite: sampler, cdcl, or portfolio")
 	out := flag.String("o", "", "output path (default depends on suite)")
 	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
 	compare := flag.String("compare", "", "prior snapshot to compare against (regression gate; no file is written)")
 	threshold := flag.Float64("threshold", 10, "ns/op regression threshold for -compare, in percent")
 	flag.Parse()
+
+	// An explicitly passed -suite must win over the snapshot's suite tag in
+	// -compare mode (a merged snapshot like BENCH_cdcl.json holds several
+	// suites' benchmarks under one tag; the flag selects which one to rerun).
+	explicitSuite := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "suite" {
+			explicitSuite = true
+		}
+	})
 
 	if *compare != "" {
 		old, err := loadReport(*compare)
@@ -248,7 +368,7 @@ func main() {
 			fatal(err)
 		}
 		s := *suite
-		if old.Suite != "" {
+		if !explicitSuite && old.Suite != "" {
 			s = old.Suite // the snapshot knows which suite produced it
 		}
 		cur, err := runSuite(s)
@@ -273,9 +393,16 @@ func main() {
 	if path == "" {
 		path = defaultOut(*suite)
 	}
-	// Preserve a previously recorded pre-refactor section verbatim.
-	if prev, err := loadReport(path); err == nil && len(prev.PreRefactor) > 0 {
-		rep.PreRefactor = prev.PreRefactor
+	// Preserve a previously recorded pre-refactor section verbatim, and fold
+	// the portfolio suite into an existing snapshot instead of clobbering it
+	// (BENCH_cdcl.json carries both the cdcl and the portfolio families).
+	if prev, err := loadReport(path); err == nil {
+		if len(prev.PreRefactor) > 0 {
+			rep.PreRefactor = prev.PreRefactor
+		}
+		if *suite == "portfolio" && len(prev.Benchmarks) > 0 {
+			rep = mergeReports(prev, rep)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -295,6 +422,9 @@ func main() {
 		fmt.Printf("benchreport: wrote %s (Propagate %.0f ns/op %d allocs/op, SolveUF %.2f ms/op)\n",
 			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
 			rep.Benchmarks[1].NsPerOp/1e6)
+	case "portfolio":
+		fmt.Printf("benchreport: wrote %s (CubeConquer uf100 4-worker speedup %.2fx on %d CPUs)\n",
+			path, rep.PortfolioSpeedup4W, rep.NumCPU)
 	default:
 		fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
 			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,

@@ -98,6 +98,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	maxConflicts := fs.Int64("max-conflicts", 0, "CDCL conflict budget; report UNKNOWN once exhausted (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget; report UNKNOWN with partial stats once expired (0 = none)")
 	faultProfile := fs.String("fault-profile", "", "inject QA faults: preset (none, flaky, slow, corrupt, drift, outage) or key=value list")
+	share := fs.Bool("share", false, "portfolio/cube: exchange learnt clauses between solvers over the sharing bus")
+	cube := fs.Bool("cube", false, "solve by cube-and-conquer: split into assumption cubes conquered across -workers solvers")
+	cubeDepth := fs.Int("cube-depth", 3, "cube-and-conquer split depth (2^depth cubes)")
+	workers := fs.Int("workers", 0, "cube-and-conquer worker count (0 = GOMAXPROCS)")
+	cubeWarmup := fs.Int("cube-warmup", 0, "QA warm-up iterations per cube before its CDCL solve (0 = off)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the solve to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the solve to this file")
 	if err := fs.Parse(args); err != nil {
@@ -239,9 +244,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		rec = verify.NewRecorder()
 	}
 	var tw *verify.TextWriter
-	if *proofPath != "" {
+	if *proofPath != "" && !*cube {
 		if *solver == "portfolio" {
-			return fail(fmt.Errorf("-proof cannot be combined with -solver=portfolio (the winner is nondeterministic); use -verify"))
+			return fail(fmt.Errorf("-proof cannot be combined with -solver=portfolio (the winner is nondeterministic); use -verify, or -cube whose stitched proof is deterministic in shape"))
 		}
 		pf, err := os.Create(*proofPath)
 		if err != nil {
@@ -268,94 +273,162 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var status sat.Status
 	var assignment []bool
-	switch *solver {
-	case "minisat", "kissat":
-		opts := sat.MiniSATOptions()
-		if *solver == "kissat" {
-			opts = sat.KissatOptions()
+	if *cube {
+		// Cube-and-conquer overrides -solver: the instance is split into
+		// assumption cubes conquered across CDCL workers (optionally with
+		// QA warm-ups and clause sharing). An UNSAT run stitches the
+		// per-cube refutations into one DRAT proof, written to -proof and/or
+		// replayed in-process by -verify.
+		co := portfolio.CubeOptions{
+			Depth:       *cubeDepth,
+			Workers:     *workers,
+			Certify:     *verifyFlag || *proofPath != "",
+			Seed:        *seed,
+			Trace:       tracer,
+			Metrics:     reg,
+			QAWarmup:    *cubeWarmup,
+			WrapBackend: wrapBackend,
 		}
-		opts.Seed = *seed
-		opts.MaxConflicts = *maxConflicts
-		s := sat.New(formula, opts)
-		s.SetTracer(tracer)
-		iters := reg.Gauge("cdcl_iterations")
-		s.SetMetrics(sat.Metrics{
-			ConflictDepth: reg.Histogram("cdcl_conflict_depth", obs.ExpBuckets(1, 2, 10)),
-			LearntLen:     reg.Histogram("cdcl_learnt_clause_len", obs.ExpBuckets(1, 2, 8)),
-			Iterations:    iters,
-		})
-		statusVar.Set(func() map[string]any {
-			return map[string]any{"solver": *solver, "iterations": iters.Value()}
-		})
-		if hook != nil {
-			s.SetProofWriter(hook)
+		if *share {
+			co.Share = &portfolio.ShareOptions{}
 		}
-		r := solveClassical(ctx, s)
-		if r.Status == sat.Unknown && ctx.Err() != nil {
-			fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
-		}
-		status, assignment = r.Status, r.Model
-		if *verifyFlag {
-			if err := certify(formula, status, assignment); err != nil {
-				return fail(fmt.Errorf("verdict failed certification: %w", err))
-			}
-		}
-		if *stats {
-			fmt.Fprintf(stdout, "c iterations=%d decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n",
-				r.Stats.Iterations, r.Stats.Decisions, r.Stats.Conflicts,
-				r.Stats.Propagations, r.Stats.Restarts, r.Stats.Learned)
-		}
-	case "hyqsat":
-		opts := hyqsat.HardwareOptions()
-		if *mode == "sim" {
-			opts = hyqsat.SimulatorOptions()
-		}
-		opts.Seed = *seed
-		opts.Proof = hook
-		opts.NumReads = *reads
-		opts.Trace = tracer
-		opts.Metrics = reg
-		opts.CDCL.MaxConflicts = *maxConflicts
-		opts.WrapBackend = wrapBackend
-		h := hyqsat.New(formula, opts)
-		statusVar.Set(h.LiveStatus)
-		r := h.SolveContext(ctx)
-		if r.Err != nil {
-			fmt.Fprintln(stderr, "c interrupted:", r.Err)
-		}
-		status, assignment = r.Status, r.Model
-		if *verifyFlag {
-			// The hybrid solves the 3-CNF form; proofs certify against it.
-			if err := certify(h.ThreeCNF(), status, assignment); err != nil {
-				return fail(fmt.Errorf("verdict failed certification: %w", err))
-			}
-		}
-		if *proofPath != "" {
-			fmt.Fprintln(stdout, "c proof premise is the 3-CNF form of the input")
-		}
-		if *stats {
-			printHybridStats(stdout, r.Stats)
-		}
-	case "portfolio":
-		out, err := portfolio.SolveWith(ctx, formula,
-			portfolio.DefaultEntrantsBackend(*seed, wrapBackend),
-			portfolio.RaceOptions{Certify: *verifyFlag, Trace: tracer})
+		out, err := portfolio.SolveCubes(ctx, formula, co)
 		switch {
 		case err != nil && ctx.Err() != nil:
-			// The race was interrupted, not lost: report UNKNOWN.
 			fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
 			status = sat.Unknown
 		case err != nil:
 			return fail(err)
 		default:
 			status, assignment = out.Result.Status, out.Result.Model
+			if *proofPath != "" && out.Proof != nil {
+				pf, err := os.Create(*proofPath)
+				if err != nil {
+					return fail(err)
+				}
+				if err := verify.WriteDRAT(pf, out.Proof); err != nil {
+					pf.Close()
+					return fail(err)
+				}
+				if err := pf.Close(); err != nil {
+					return fail(err)
+				}
+			}
 			if *stats {
-				fmt.Fprintf(stdout, "c winner=%s elapsed=%v iterations=%d\n",
-					out.Winner, out.Elapsed, out.Result.Stats.Iterations)
+				fmt.Fprintf(stdout, "c cubes=%d refuted=%d winner=%d workers=%d elapsed=%v\n",
+					out.Cubes, out.Refuted, out.WinningCube, co.Workers, out.Elapsed)
+				fmt.Fprintf(stdout, "c aggregate windows=%d conflicts=%d propagations=%d imported=%d qacalls=%d qareads=%d\n",
+					out.Aggregate.Windows, out.Aggregate.SAT.Conflicts,
+					out.Aggregate.SAT.Propagations, out.Aggregate.SAT.Imported,
+					out.Aggregate.QACalls, out.Aggregate.QAReads)
+				if *share {
+					fmt.Fprintf(stdout, "c share exported=%d imported=%d filtered=%d duplicates=%d dropped=%d\n",
+						out.Share.Exported, out.Share.Imported, out.Share.Filtered,
+						out.Share.Duplicates, out.Share.Dropped)
+				}
 			}
 		}
-	default:
-		return fail(fmt.Errorf("unknown solver %q", *solver))
+	} else {
+		switch *solver {
+		case "minisat", "kissat":
+			opts := sat.MiniSATOptions()
+			if *solver == "kissat" {
+				opts = sat.KissatOptions()
+			}
+			opts.Seed = *seed
+			opts.MaxConflicts = *maxConflicts
+			s := sat.New(formula, opts)
+			s.SetTracer(tracer)
+			iters := reg.Gauge("cdcl_iterations")
+			s.SetMetrics(sat.Metrics{
+				ConflictDepth: reg.Histogram("cdcl_conflict_depth", obs.ExpBuckets(1, 2, 10)),
+				LearntLen:     reg.Histogram("cdcl_learnt_clause_len", obs.ExpBuckets(1, 2, 8)),
+				Iterations:    iters,
+			})
+			statusVar.Set(func() map[string]any {
+				return map[string]any{"solver": *solver, "iterations": iters.Value()}
+			})
+			if hook != nil {
+				s.SetProofWriter(hook)
+			}
+			r := solveClassical(ctx, s)
+			if r.Status == sat.Unknown && ctx.Err() != nil {
+				fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
+			}
+			status, assignment = r.Status, r.Model
+			if *verifyFlag {
+				if err := certify(formula, status, assignment); err != nil {
+					return fail(fmt.Errorf("verdict failed certification: %w", err))
+				}
+			}
+			if *stats {
+				fmt.Fprintf(stdout, "c iterations=%d decisions=%d conflicts=%d propagations=%d restarts=%d learned=%d\n",
+					r.Stats.Iterations, r.Stats.Decisions, r.Stats.Conflicts,
+					r.Stats.Propagations, r.Stats.Restarts, r.Stats.Learned)
+			}
+		case "hyqsat":
+			opts := hyqsat.HardwareOptions()
+			if *mode == "sim" {
+				opts = hyqsat.SimulatorOptions()
+			}
+			opts.Seed = *seed
+			opts.Proof = hook
+			opts.NumReads = *reads
+			opts.Trace = tracer
+			opts.Metrics = reg
+			opts.CDCL.MaxConflicts = *maxConflicts
+			opts.WrapBackend = wrapBackend
+			h := hyqsat.New(formula, opts)
+			statusVar.Set(h.LiveStatus)
+			r := h.SolveContext(ctx)
+			if r.Err != nil {
+				fmt.Fprintln(stderr, "c interrupted:", r.Err)
+			}
+			status, assignment = r.Status, r.Model
+			if *verifyFlag {
+				// The hybrid solves the 3-CNF form; proofs certify against it.
+				if err := certify(h.ThreeCNF(), status, assignment); err != nil {
+					return fail(fmt.Errorf("verdict failed certification: %w", err))
+				}
+			}
+			if *proofPath != "" {
+				fmt.Fprintln(stdout, "c proof premise is the 3-CNF form of the input")
+			}
+			if *stats {
+				printHybridStats(stdout, r.Stats)
+			}
+		case "portfolio":
+			ro := portfolio.RaceOptions{Certify: *verifyFlag, Trace: tracer, Metrics: reg}
+			if *share {
+				ro.Share = &portfolio.ShareOptions{}
+			}
+			out, err := portfolio.SolveWith(ctx, formula,
+				portfolio.DefaultEntrantsBackend(*seed, wrapBackend), ro)
+			switch {
+			case err != nil && ctx.Err() != nil:
+				// The race was interrupted, not lost: report UNKNOWN.
+				fmt.Fprintln(stderr, "c interrupted:", ctx.Err())
+				status = sat.Unknown
+			case err != nil:
+				return fail(err)
+			default:
+				status, assignment = out.Result.Status, out.Result.Model
+				if *stats {
+					fmt.Fprintf(stdout, "c winner=%s elapsed=%v iterations=%d\n",
+						out.Winner, out.Elapsed, out.Result.Stats.Iterations)
+					fmt.Fprintf(stdout, "c aggregate windows=%d conflicts=%d imported=%d qacalls=%d qareads=%d\n",
+						out.Aggregate.Windows, out.Aggregate.SAT.Conflicts,
+						out.Aggregate.SAT.Imported, out.Aggregate.QACalls, out.Aggregate.QAReads)
+					if *share {
+						fmt.Fprintf(stdout, "c share exported=%d imported=%d filtered=%d duplicates=%d dropped=%d\n",
+							out.Share.Exported, out.Share.Imported, out.Share.Filtered,
+							out.Share.Duplicates, out.Share.Dropped)
+					}
+				}
+			}
+		default:
+			return fail(fmt.Errorf("unknown solver %q", *solver))
+		}
 	}
 
 	if *verifyFlag && status != sat.Unknown {

@@ -373,3 +373,71 @@ func TestCLITimeoutReportsUnknown(t *testing.T) {
 		}
 	}
 }
+
+func TestCLISharingPortfolio(t *testing.T) {
+	// -share wires the clause-sharing bus into the portfolio race; the
+	// verdict must certify and the share counters must print with -stats.
+	args := []string{"-solver", "portfolio", "-share", "-verify", "-stats", "-seed", "3"}
+	code, out, errOut := runCLI(t, args, unsatCNF)
+	if code != 20 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("shared portfolio UNSAT: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "c share exported=") {
+		t.Fatalf("missing share stats line: %q", out)
+	}
+	if !strings.Contains(out, "c aggregate windows=") {
+		t.Fatalf("missing aggregate stats line: %q", out)
+	}
+}
+
+func TestCLICubeAndConquer(t *testing.T) {
+	// -cube solves by splitting into assumption cubes. On UNSAT the stitched
+	// proof written by -proof must replay through the DRAT checker against
+	// the input formula.
+	proofPath := filepath.Join(t.TempDir(), "stitched.drat")
+	args := []string{"-cube", "-cube-depth", "2", "-workers", "2", "-share",
+		"-verify", "-stats", "-proof", proofPath, "-seed", "5"}
+	code, out, errOut := runCLI(t, args, unsatCNF)
+	if code != 20 || !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("cube UNSAT: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if !strings.Contains(out, "c cubes=") {
+		t.Fatalf("missing cube stats line: %q", out)
+	}
+	data, err := os.ReadFile(proofPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := verify.ParseDRATString(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cnf.ParseDIMACS(strings.NewReader(unsatCNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckUnsatProof(f, proof); err != nil {
+		t.Fatalf("written stitched proof rejected: %v", err)
+	}
+
+	code, out, errOut = runCLI(t,
+		[]string{"-cube", "-cube-depth", "2", "-verify", "-seed", "5"}, satCNF)
+	if code != 10 || !strings.Contains(out, "s SATISFIABLE") {
+		t.Fatalf("cube SAT: code=%d out=%q err=%q", code, out, errOut)
+	}
+}
+
+func TestCLICubeNontrivialInstance(t *testing.T) {
+	// An instance the probe cannot finish, so the conquer phase actually
+	// fans out over cubes (probe budget is fixed at 3000 conflicts; this
+	// near-threshold instance needs far more).
+	code, out, errOut := runCLI(t,
+		[]string{"-cube", "-cube-depth", "3", "-workers", "2", "-share", "-verify", "-stats", "-seed", "7"},
+		mediumCNF(t))
+	if code != 10 && code != 20 {
+		t.Fatalf("cube nontrivial: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if code == 20 && !strings.Contains(out, "c verdict certified") {
+		t.Fatalf("cube UNSAT not certified: %q", out)
+	}
+}

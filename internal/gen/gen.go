@@ -52,6 +52,23 @@ func SatisfiableRandom3SAT(n, m int, seed int64) *Instance {
 	}
 }
 
+// UnsatisfiableRandom3SAT rejection-samples Random3SAT until an unsatisfiable
+// instance is found (the SATLIB "uuf" construction: uniform random instances
+// filtered with a complete solver). The candidate counter advances the seed,
+// so the result is deterministic. Near the m/n ≈ 4.26 phase transition about
+// half the candidates qualify, so the loop terminates quickly.
+func UnsatisfiableRandom3SAT(n, m int, seed int64) *Instance {
+	for k := int64(0); ; k++ {
+		inst := Random3SAT(n, m, seed*1_000_003+k)
+		r := sat.New(inst.Formula.Copy(), sat.MiniSATOptions()).Solve()
+		if r.Status == sat.Unsat {
+			inst.Name = "u" + inst.Name
+			inst.Expected = sat.Unsat
+			return inst
+		}
+	}
+}
+
 // FlatGraphColoring generates a SATLIB "flat"-style 3-colouring instance:
 // a 3-colourable graph (vertices pre-partitioned into three classes, edges
 // only between classes) encoded with one variable per (vertex, colour).

@@ -1,7 +1,10 @@
 package hyqsat
 
 import (
+	"sync"
+
 	"hyqsat/internal/anneal"
+	"hyqsat/internal/cnf"
 	"hyqsat/internal/qubo"
 )
 
@@ -81,4 +84,102 @@ func (c *embedCache) store(queueIdx []int, ent *embedCacheEntry) {
 	}
 	ent.key = append([]int(nil), queueIdx...)
 	c.entries[h] = ent
+}
+
+// SharedEmbedCache is an embedding cache shared by several solvers, keyed by
+// the literal *content* of the clause queue rather than by clause indices.
+// Index keys are only meaningful within one solver's formula; the
+// cube-and-conquer per-cube QA warm-up builds a fresh formula per cube (base
+// clauses plus cube units), where the same index can name different clauses —
+// content addressing makes cross-cube reuse sound. The pipeline output
+// depends only on the queue's clause contents (plus fixed hardware/options),
+// and cached entries are immutable after construction, so concurrent reuse is
+// safe. Eviction is FIFO, as in the per-solver cache.
+type SharedEmbedCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*sharedCacheEntry
+	order   []uint64
+	cap     int
+}
+
+type sharedCacheEntry struct {
+	key []cnf.Lit // flattened queue contents (NoLit-separated), exact compare
+	ent *embedCacheEntry
+}
+
+// NewSharedEmbedCache returns a shared cache bounded to capacity entries
+// (<= 0 selects the per-solver default).
+func NewSharedEmbedCache(capacity int) *SharedEmbedCache {
+	if capacity <= 0 {
+		capacity = embedCacheCap
+	}
+	return &SharedEmbedCache{entries: make(map[uint64]*sharedCacheEntry), cap: capacity}
+}
+
+// queueContentKey flattens the queue's clauses into a comparable literal
+// sequence (clauses separated by NoLit) and its hash.
+func queueContentKey(f *cnf.Formula, queueIdx []int) ([]cnf.Lit, uint64) {
+	n := len(queueIdx)
+	for _, ci := range queueIdx {
+		n += len(f.Clauses[ci])
+	}
+	key := make([]cnf.Lit, 0, n)
+	for _, ci := range queueIdx {
+		key = append(key, f.Clauses[ci]...)
+		key = append(key, cnf.NoLit)
+	}
+	h := uint64(len(key)) + 0x9e3779b97f4a7c15
+	for _, l := range key {
+		h ^= uint64(int64(l)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+	}
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return key, h ^ (h >> 31)
+}
+
+func sameKey(a, b []cnf.Lit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for the content key, or nil. Collisions count as
+// misses (a miss only costs a pipeline re-run, never correctness).
+func (c *SharedEmbedCache) lookup(key []cnf.Lit, h uint64) *embedCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc, ok := c.entries[h]
+	if !ok || !sameKey(sc.key, key) {
+		return nil
+	}
+	return sc.ent
+}
+
+// store records the pipeline output under the content key.
+func (c *SharedEmbedCache) store(key []cnf.Lit, h uint64, ent *embedCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[h]; !exists {
+		if len(c.order) >= c.cap {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, h)
+	}
+	c.entries[h] = &sharedCacheEntry{key: key, ent: ent}
+}
+
+// Len returns the number of cached embeddings.
+func (c *SharedEmbedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

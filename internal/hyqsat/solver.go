@@ -101,6 +101,13 @@ type Options struct {
 	// retry/breaker layer. Nil leaves the backend undecorated.
 	WrapBackend func(qpu.Backend) qpu.Backend
 
+	// Cache, when non-nil, replaces the solver's private embedding cache with
+	// a shared, content-addressed one (safe for concurrent use by several
+	// solvers). The cube-and-conquer per-cube QA warm-up passes one cache to
+	// every cube's solver so repeated clause queues reuse their embeddings
+	// across cubes.
+	Cache *SharedEmbedCache
+
 	// Proof, when non-nil, receives the CDCL core's clause trace in DRAT
 	// form. The proof's premise is the 3-CNF formula actually solved
 	// (ThreeCNF), which is equisatisfiable with the input.
@@ -501,6 +508,15 @@ func (s *Solver) LiveStatus() map[string]any {
 // SATSolver exposes the underlying CDCL solver (for instrumentation).
 func (s *Solver) SATSolver() *sat.Solver { return s.sat }
 
+// Belief returns a copy of the maintained QA assignment — the most recent
+// QA value of every variable that appeared in a (near-)satisfiable sample
+// (feedback strategy 2's accumulated state). Variables the device never
+// pronounced on are Undef. The cube-and-conquer warm-up hands this to the
+// conquering CDCL solver as phase hints.
+func (s *Solver) Belief() cnf.Assignment {
+	return append(cnf.Assignment(nil), s.belief...)
+}
+
 // Solve runs the hybrid search to completion: √K warm-up iterations with QA
 // guidance, then classic CDCL.
 func (s *Solver) Solve() Result { return s.SolveContext(context.Background()) }
@@ -625,14 +641,28 @@ func (s *Solver) hybridIteration(ctx context.Context) (done bool, res Result) {
 		queueIdx = RandomQueue(unsat, s.opts.QueueLimit, s.rng)
 	}
 	s.m.queueDepth.Set(int64(len(queueIdx)))
-	ent := s.cache.lookup(queueIdx)
+	var ent *embedCacheEntry
+	var sharedKey []cnf.Lit
+	var sharedHash uint64
+	if sc := s.opts.Cache; sc != nil {
+		// Shared cache: content-addressed, so entries from other solvers
+		// (other cubes) with the same queue contents are reusable.
+		sharedKey, sharedHash = queueContentKey(s.formula, queueIdx)
+		ent = sc.lookup(sharedKey, sharedHash)
+	} else {
+		ent = s.cache.lookup(queueIdx)
+	}
 	cacheHit := ent != nil
 	if cacheHit {
 		s.m.cacheHits.Inc()
 	} else {
 		s.m.cacheMisses.Inc()
 		ent = s.encodeAndEmbed(queueIdx)
-		s.cache.store(queueIdx, ent)
+		if sc := s.opts.Cache; sc != nil {
+			sc.store(sharedKey, sharedHash, ent)
+		} else {
+			s.cache.store(queueIdx, ent)
+		}
 	}
 	if s.trace.Enabled() {
 		ev := obs.EmbedEvent{

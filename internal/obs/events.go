@@ -178,3 +178,32 @@ type DegradeEvent struct {
 
 // Kind implements Event.
 func (DegradeEvent) Kind() string { return "degrade" }
+
+// ShareEvent summarises the clause-sharing bus at the end of a race or cube
+// run: clauses accepted for distribution, clauses attached by importers,
+// offers rejected by the size/LBD filter, offers dropped as fingerprint
+// duplicates, and deliveries lost to full peer inboxes.
+type ShareEvent struct {
+	Exported   int64 `json:"exported"`
+	Imported   int64 `json:"imported"`
+	Filtered   int64 `json:"filtered"`
+	Duplicates int64 `json:"duplicates"`
+	Dropped    int64 `json:"dropped"`
+}
+
+// Kind implements Event.
+func (ShareEvent) Kind() string { return "share" }
+
+// CubeEvent records the fate of one assumption cube in a cube-and-conquer
+// run: which worker took it, how it ended ("refuted" — UNSAT under the cube,
+// "sat" — model found, "abandoned" — run cancelled first), and the worker's
+// cumulative conflict count at that point.
+type CubeEvent struct {
+	Cube      int    `json:"cube"`
+	Worker    int    `json:"worker"`
+	Status    string `json:"status"`
+	Conflicts int64  `json:"conflicts"`
+}
+
+// Kind implements Event.
+func (CubeEvent) Kind() string { return "cube" }

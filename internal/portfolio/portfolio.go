@@ -1,20 +1,29 @@
 // Package portfolio runs several solver configurations concurrently on the
 // same formula and returns the first conclusive answer — the standard
 // parallel-portfolio construction used by SAT competition solvers, here
-// spanning both the classical CDCL configurations and the HyQSAT hybrid.
+// spanning both the classical CDCL configurations and the HyQSAT hybrid —
+// extended with cooperative solving: a clause-sharing bus (share.go) that
+// ships short/low-LBD learnt clauses between entrants, and a cube-and-conquer
+// splitter (cube.go) that partitions an instance into assumption cubes solved
+// across workers.
 //
 // Each entrant runs on its own copy of the formula in its own goroutine;
 // the first Sat or Unsat result cancels the others (they are abandoned, not
 // interrupted mid-step: solvers poll their conflict budget in bounded
 // windows). Results are always cross-checked: a Sat entrant must produce a
 // verified model, and in certifying mode (SolveCertified) an Unsat entrant
-// must additionally produce a DRAT proof that the internal/verify RUP
-// checker accepts before its verdict is allowed to win the race.
+// must additionally produce a DRAT proof that the internal/verify RUP checker
+// accepts before its verdict is allowed to win the race. With sharing
+// enabled, certification runs against a single shared additions-only proof
+// log all sharing entrants append to (see verify.SharedRecorder), and every
+// imported clause is re-asserted into that log by the importer — so a
+// corrupted clause on the bus fails certification instead of poisoning it.
 package portfolio
 
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"hyqsat/internal/cnf"
@@ -25,18 +34,43 @@ import (
 	"hyqsat/internal/verify"
 )
 
-// Entrant is one competitor: a name and a function solving the formula
-// within the window budget, returning Unknown when the budget expires. The
-// context carries the race's cancellation and any caller deadline; entrants
-// propagate it into cancellable solvers (the hybrid's QA backend honours it)
-// and may otherwise rely on the window budget for responsiveness.
-// SolveCertified, when non-nil, is the proof-logging variant used by the
-// certifying race: alongside the result it returns the certificate (premise
-// formula + recorded DRAT proof) backing an Unsat verdict.
+// RunInput is one entrant budget window: the formula copy to solve, the
+// conflict budget, and the race-level facilities the entrant should wire into
+// its solver. Exchange (when non-nil) is the entrant's clause-sharing
+// endpoint; SharedProof (when non-nil, certifying shared races only) is the
+// group proof log the entrant must route its DRAT trace into if — and only
+// if — it attaches the exchange. An entrant whose premise differs from the
+// race formula (the hybrid on a non-3-CNF input) must leave both alone and
+// certify privately.
+type RunInput struct {
+	Formula     *cnf.Formula
+	Budget      int64
+	Certify     bool
+	Exchange    sat.ClauseExchange
+	SharedProof sat.ProofWriter
+}
+
+// RunOutput is the window's outcome. Cert carries a private certificate
+// (premise + recorded proof) backing an Unsat verdict; SharedCert instead
+// marks the verdict as certified through the shared proof log, which the race
+// snapshots and checks itself. QAReads/QACalls report quantum-backend work so
+// the race can aggregate total effort across entrants and windows.
+type RunOutput struct {
+	Result     sat.Result
+	Cert       *verify.Certificate
+	SharedCert bool
+	QAReads    int64
+	QACalls    int64
+}
+
+// Entrant is one competitor: a name and a Run function solving one budget
+// window, returning Unknown when the budget expires. The context carries the
+// race's cancellation and any caller deadline; entrants propagate it into
+// cancellable solvers (the hybrid's QA backend honours it) and may otherwise
+// rely on the window budget for responsiveness.
 type Entrant struct {
-	Name           string
-	Solve          func(ctx context.Context, f *cnf.Formula, budgetConflicts int64) sat.Result
-	SolveCertified func(ctx context.Context, f *cnf.Formula, budgetConflicts int64) (sat.Result, *verify.Certificate)
+	Name string
+	Run  func(ctx context.Context, in RunInput) RunOutput
 }
 
 // MiniSATEntrant is the VSIDS/Luby baseline.
@@ -61,22 +95,36 @@ func KissatEntrant(seed int64) Entrant {
 	return cdclEntrant(fmt.Sprintf("kissat/s%d", seed), mk)
 }
 
-// cdclEntrant wraps a classical solver constructor into both race modes.
+// cdclEntrant wraps a classical solver constructor into the Run shape.
 // Classical solvers have no in-flight cancellation; the bounded conflict
-// windows keep their cancellation latency acceptable.
+// windows keep their cancellation latency acceptable. Their premise is the
+// race formula itself, so they always join the sharing bus when offered.
 func cdclEntrant(name string, mk func(*cnf.Formula, int64) (*sat.Solver, *cnf.Formula)) Entrant {
 	return Entrant{
 		Name: name,
-		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
-			s, _ := mk(f, budget)
-			return s.Solve()
-		},
-		SolveCertified: func(_ context.Context, f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
-			s, premise := mk(f, budget)
-			rec := verify.NewRecorder()
-			s.SetProofWriter(rec)
+		Run: func(ctx context.Context, in RunInput) RunOutput {
+			s, premise := mk(in.Formula, in.Budget)
+			// Stop mid-window when the race is decided instead of grinding
+			// out the rest of the conflict budget.
+			defer context.AfterFunc(ctx, s.Interrupt)()
+			if in.Exchange != nil {
+				s.SetExchange(in.Exchange)
+			}
+			var rec *verify.Recorder
+			switch {
+			case !in.Certify:
+			case in.SharedProof != nil:
+				s.SetProofWriter(in.SharedProof)
+			default:
+				rec = verify.NewRecorder()
+				s.SetProofWriter(rec)
+			}
 			r := s.Solve()
-			return r, &verify.Certificate{Premise: premise, Proof: rec.Proof()}
+			out := RunOutput{Result: r, SharedCert: in.Certify && in.SharedProof != nil}
+			if rec != nil {
+				out.Cert = &verify.Certificate{Premise: premise, Proof: rec.Proof()}
+			}
+			return out
 		},
 	}
 }
@@ -91,37 +139,51 @@ func HyQSATEntrant(seed int64) Entrant { return HyQSATEntrantBackend(seed, nil) 
 // how a portfolio race runs the hybrid against a fault-injected or
 // Resilient-wrapped QPU. The race context reaches the backend, so deadlines
 // and cancellation propagate into retry/backoff.
+//
+// Sharing: the hybrid solves the 3-CNF conversion of the input, so it joins
+// the bus only when the input already is 3-CNF (then the conversion copies
+// the clause list verbatim and the premises coincide). On longer-clause
+// inputs it races unshared and certifies against its own 3-CNF premise.
 func HyQSATEntrantBackend(seed int64, wrap func(qpu.Backend) qpu.Backend) Entrant {
-	run := func(ctx context.Context, f *cnf.Formula, budget int64, certify bool) (sat.Result, *verify.Certificate) {
-		o := hyqsat.HardwareOptions()
-		o.Seed = seed
-		o.CDCL.MaxConflicts = budget
-		o.WrapBackend = wrap
-		h := hyqsat.New(f, o)
-		var rec *verify.Recorder
-		if certify {
-			rec = verify.NewRecorder()
-			h.SetProofWriter(rec)
-		}
-		r := h.SolveContext(ctx)
-		model := r.Model
-		if r.Status == sat.Sat && len(model) > f.NumVars {
-			model = model[:f.NumVars]
-		}
-		res := sat.Result{Status: r.Status, Model: model, Stats: r.Stats.SAT}
-		if !certify {
-			return res, nil
-		}
-		return res, &verify.Certificate{Premise: h.ThreeCNF(), Proof: rec.Proof()}
-	}
 	return Entrant{
 		Name: fmt.Sprintf("hyqsat/s%d", seed),
-		Solve: func(ctx context.Context, f *cnf.Formula, budget int64) sat.Result {
-			r, _ := run(ctx, f, budget, false)
-			return r
-		},
-		SolveCertified: func(ctx context.Context, f *cnf.Formula, budget int64) (sat.Result, *verify.Certificate) {
-			return run(ctx, f, budget, true)
+		Run: func(ctx context.Context, in RunInput) RunOutput {
+			o := hyqsat.HardwareOptions()
+			o.Seed = seed
+			o.CDCL.MaxConflicts = in.Budget
+			o.WrapBackend = wrap
+			h := hyqsat.New(in.Formula, o)
+			// Interrupt the embedded CDCL core on cancellation so the hybrid
+			// loop reaches its own context check promptly.
+			defer context.AfterFunc(ctx, h.SATSolver().Interrupt)()
+			share := in.Exchange != nil && in.Formula.Is3CNF()
+			if share {
+				h.SATSolver().SetExchange(in.Exchange)
+			}
+			var rec *verify.Recorder
+			switch {
+			case !in.Certify:
+			case share && in.SharedProof != nil:
+				h.SetProofWriter(in.SharedProof)
+			default:
+				rec = verify.NewRecorder()
+				h.SetProofWriter(rec)
+			}
+			r := h.SolveContext(ctx)
+			model := r.Model
+			if r.Status == sat.Sat && len(model) > in.Formula.NumVars {
+				model = model[:in.Formula.NumVars]
+			}
+			out := RunOutput{
+				Result:     sat.Result{Status: r.Status, Model: model, Stats: r.Stats.SAT},
+				SharedCert: in.Certify && share && in.SharedProof != nil,
+				QAReads:    r.Stats.QAReads,
+				QACalls:    int64(r.Stats.QACalls),
+			}
+			if rec != nil {
+				out.Cert = &verify.Certificate{Premise: h.ThreeCNF(), Proof: rec.Proof()}
+			}
+			return out
 		},
 	}
 }
@@ -138,14 +200,67 @@ func DefaultEntrantsBackend(seed int64, wrap func(qpu.Backend) qpu.Backend) []En
 	return []Entrant{MiniSATEntrant(seed), KissatEntrant(seed + 1), HyQSATEntrantBackend(seed+2, wrap)}
 }
 
-// Outcome is the portfolio result: the winning entrant and its result.
-// Certified is set by SolveCertified once the winner's verdict passed
-// independent verification.
+// AggregateStats sums the work of every entrant budget window of a race —
+// winners, losers and abandoned windows alike — so conflict counts and QA
+// effort reflect the total cost of the parallel solve, not just the winner's
+// final window.
+type AggregateStats struct {
+	Windows int64 // entrant budget windows completed
+	SAT     sat.Stats
+	QAReads int64
+	QACalls int64
+}
+
+func (a *AggregateStats) add(out RunOutput) {
+	a.Windows++
+	s, t := &a.SAT, out.Result.Stats
+	s.Iterations += t.Iterations
+	s.Decisions += t.Decisions
+	s.Conflicts += t.Conflicts
+	s.Propagations += t.Propagations
+	s.Restarts += t.Restarts
+	s.Learned += t.Learned
+	s.Removed += t.Removed
+	s.Minimized += t.Minimized
+	s.ArenaGCs += t.ArenaGCs
+	s.Imported += t.Imported
+	if t.MaxTrail > s.MaxTrail {
+		s.MaxTrail = t.MaxTrail
+	}
+	a.QAReads += out.QAReads
+	a.QACalls += out.QACalls
+}
+
+// aggregate is the mutex-guarded race-wide accumulator entrant goroutines
+// report into after every window.
+type aggregate struct {
+	mu sync.Mutex
+	st AggregateStats
+}
+
+func (a *aggregate) add(out RunOutput) {
+	a.mu.Lock()
+	a.st.add(out)
+	a.mu.Unlock()
+}
+
+func (a *aggregate) snapshot() AggregateStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.st
+}
+
+// Outcome is the portfolio result: the winning entrant, its result, and the
+// race-wide work aggregate. Certified is set by certifying races once the
+// winner's verdict passed independent verification. Share carries the bus
+// counters when sharing was enabled (zero otherwise).
 type Outcome struct {
 	Winner    string
 	Result    sat.Result
 	Elapsed   time.Duration
 	Certified bool
+	Aggregate AggregateStats
+	Share     ShareStats
 }
 
 // ErrInvalidModel is reported when a Sat entrant returned a non-model —
@@ -175,9 +290,19 @@ type RaceOptions struct {
 	Certify bool
 	// Trace, when non-nil and enabled, receives PortfolioEvents as the race
 	// progresses: one "window" event per entrant budget window, a verdict
-	// event per entrant result, and a "winner" event. Emission happens from
-	// entrant goroutines, so the tracer must be safe for concurrent use.
+	// event per entrant result, and a "winner" event (plus one ShareEvent at
+	// the end when sharing is on). Emission happens from entrant goroutines,
+	// so the tracer must be safe for concurrent use.
 	Trace obs.Tracer
+	// Share, when non-nil, enables the clause-sharing bus between entrants
+	// with these options (the zero value selects the defaults).
+	Share *ShareOptions
+	// Bus, when non-nil, is a pre-built bus the race joins instead of
+	// building its own from Share — the hook through which tests inject
+	// adversarial traffic and callers share one bus across races.
+	Bus *Bus
+	// Metrics, when non-nil, is the registry the bus counters register in.
+	Metrics *obs.Registry
 }
 
 // Solve races the entrants on f until one returns a conclusive verified
@@ -192,18 +317,19 @@ func Solve(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, er
 // SolveCertified is Solve with mandatory certification: a Sat winner must
 // produce a model satisfying f, and an Unsat winner must produce a DRAT
 // proof accepted by the RUP checker against the entrant's premise. Entrants
-// without a SolveCertified implementation fall back to model-checked Solve
-// and can win Sat races but have their Unsat verdicts rejected.
+// that certify neither privately nor through a shared log can win Sat races
+// but have their Unsat verdicts rejected.
 func SolveCertified(ctx context.Context, f *cnf.Formula, entrants []Entrant) (Outcome, error) {
 	return SolveWith(ctx, f, entrants, RaceOptions{Certify: true})
 }
 
 // SolveWith is the fully configurable race entry point.
 func SolveWith(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions) (Outcome, error) {
-	return race(ctx, f, entrants, o.Certify, o.Trace)
+	return race(ctx, f, entrants, o)
 }
 
-func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool, trace obs.Tracer) (Outcome, error) {
+func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions) (Outcome, error) {
+	trace := o.Trace
 	if trace == nil {
 		trace = obs.Nop()
 	}
@@ -211,9 +337,25 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 		return Outcome{}, fmt.Errorf("portfolio: no entrants")
 	}
 	start := time.Now()
+
+	bus := o.Bus
+	if bus == nil && o.Share != nil {
+		bus = NewBus(*o.Share, o.Metrics)
+	}
+	// One shared additions-only proof log for the whole sharing group: every
+	// sharing entrant appends its DRAT trace here, so any entrant's Unsat
+	// verdict is certifiable from a snapshot regardless of whose imports
+	// contributed to it.
+	var sharedProof *verify.SharedRecorder
+	if bus != nil && o.Certify {
+		sharedProof = verify.NewSharedRecorder()
+	}
+	agg := &aggregate{}
+
 	type msg struct {
 		name string
 		res  sat.Result
+		cert bool
 		err  error
 	}
 	results := make(chan msg, len(entrants))
@@ -222,14 +364,18 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 
 	for _, e := range entrants {
 		e := e
+		var peer *Peer
+		if bus != nil {
+			peer = bus.NewPeer(e.Name)
+		}
 		go func() {
 			// Window sizes grow geometrically so easy instances finish in
 			// the first window and cancellation stays responsive on hard
 			// ones. Every window restarts the entrant from scratch; learnt
-			// state is entrant-local.
+			// state is entrant-local except for what crosses the bus.
 			budget := int64(20_000)
 			// report pairs the verdict message with its trace event.
-			report := func(r sat.Result, status string, err error) {
+			report := func(r sat.Result, status string, certified bool, err error) {
 				if trace.Enabled() {
 					ev := obs.PortfolioEvent{Entrant: e.Name, Status: status, Budget: budget}
 					if err != nil {
@@ -237,7 +383,7 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 					}
 					trace.Emit(ev)
 				}
-				results <- msg{e.Name, r, err}
+				results <- msg{e.Name, r, certified, err}
 			}
 			for {
 				select {
@@ -248,34 +394,46 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 				if trace.Enabled() {
 					trace.Emit(obs.PortfolioEvent{Entrant: e.Name, Status: "window", Budget: budget})
 				}
-				var r sat.Result
-				var cert *verify.Certificate
-				if certify && e.SolveCertified != nil {
-					r, cert = e.SolveCertified(ctx, f.Copy(), budget)
-				} else {
-					r = e.Solve(ctx, f.Copy(), budget)
+				in := RunInput{Formula: f.Copy(), Budget: budget, Certify: o.Certify}
+				if peer != nil {
+					in.Exchange = peer
+					if sharedProof != nil {
+						in.SharedProof = sharedProof
+					}
 				}
+				out := e.Run(ctx, in)
+				// Satellite fix: every window's work lands in the aggregate,
+				// so losers and abandoned windows still count.
+				agg.add(out)
+				r := out.Result
 				if r.Status == sat.Sat {
 					if err := verify.CheckModel(f, r.Model); err != nil {
-						report(r, "error", ErrInvalidModel{e.Name})
+						report(r, "error", false, ErrInvalidModel{e.Name})
 						return
 					}
-					report(r, "sat", nil)
+					report(r, "sat", o.Certify, nil)
 					return
 				}
 				if r.Status == sat.Unsat {
-					if certify {
+					if o.Certify {
+						cert := out.Cert
+						if cert == nil && out.SharedCert {
+							// The verdict's proof lives in the shared log; the
+							// snapshot already contains this entrant's empty
+							// clause (solvers log before returning).
+							cert = &verify.Certificate{Premise: f, Proof: sharedProof.Snapshot()}
+						}
 						if cert == nil {
-							report(r, "error", ErrUncertified{e.Name,
+							report(r, "error", false, ErrUncertified{e.Name,
 								fmt.Errorf("no certificate produced")})
 							return
 						}
 						if err := cert.CheckUnsat(); err != nil {
-							report(r, "error", ErrUncertified{e.Name, err})
+							report(r, "error", false, ErrUncertified{e.Name, err})
 							return
 						}
 					}
-					report(r, "unsat", nil)
+					report(r, "unsat", o.Certify, nil)
 					return
 				}
 				budget *= 4
@@ -299,8 +457,21 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, certify bool,
 			if trace.Enabled() {
 				trace.Emit(obs.PortfolioEvent{Entrant: m.name, Status: "winner"})
 			}
-			return Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start),
-				Certified: certify}, nil
+			out := Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start),
+				Certified: m.cert, Aggregate: agg.snapshot()}
+			if bus != nil {
+				out.Share = bus.Stats()
+				if trace.Enabled() {
+					trace.Emit(obs.ShareEvent{
+						Exported:   out.Share.Exported,
+						Imported:   out.Share.Imported,
+						Filtered:   out.Share.Filtered,
+						Duplicates: out.Share.Duplicates,
+						Dropped:    out.Share.Dropped,
+					})
+				}
+			}
+			return out, nil
 		}
 	}
 }

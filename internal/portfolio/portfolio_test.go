@@ -78,8 +78,8 @@ func TestPortfolioRejectsInvalidModels(t *testing.T) {
 	f.Add(2)
 	liar := Entrant{
 		Name: "liar",
-		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
-			return sat.Result{Status: sat.Sat, Model: []bool{false, false}}
+		Run: func(_ context.Context, _ RunInput) RunOutput {
+			return RunOutput{Result: sat.Result{Status: sat.Sat, Model: []bool{false, false}}}
 		},
 	}
 	if _, err := Solve(context.Background(), f, []Entrant{liar}); err == nil {
@@ -119,8 +119,8 @@ func TestPortfolioCertifiedRejectsLyingUnsat(t *testing.T) {
 	f.Add(1, 2)
 	liar := Entrant{
 		Name: "unsat-liar",
-		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
-			return sat.Result{Status: sat.Unsat}
+		Run: func(_ context.Context, _ RunInput) RunOutput {
+			return RunOutput{Result: sat.Result{Status: sat.Unsat}}
 		},
 	}
 	if _, err := SolveCertified(context.Background(), f, []Entrant{liar}); err == nil {
@@ -138,9 +138,9 @@ func TestPortfolioFirstWinnerCancellation(t *testing.T) {
 	slow := func(name string) Entrant {
 		return Entrant{
 			Name: name,
-			Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
+			Run: func(_ context.Context, _ RunInput) RunOutput {
 				time.Sleep(2 * time.Millisecond)
-				return sat.Result{Status: sat.Unknown} // never concludes
+				return RunOutput{Result: sat.Result{Status: sat.Unknown}} // never concludes
 			},
 		}
 	}
@@ -163,9 +163,9 @@ func TestPortfolioCancelWhileRacing(t *testing.T) {
 	f.Add(1, 2, 3)
 	stuck := Entrant{
 		Name: "stuck",
-		Solve: func(_ context.Context, f *cnf.Formula, budget int64) sat.Result {
+		Run: func(_ context.Context, _ RunInput) RunOutput {
 			time.Sleep(time.Millisecond)
-			return sat.Result{Status: sat.Unknown}
+			return RunOutput{Result: sat.Result{Status: sat.Unknown}}
 		},
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -179,6 +179,71 @@ func TestPortfolioCancelWhileRacing(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+}
+
+func TestPortfolioAggregatesLoserStats(t *testing.T) {
+	// Regression: outcomes used to report only the winner's final window,
+	// silently dropping the conflicts/QA reads burnt by cancelled losers.
+	// A race between a deliberately slow loser that reports known work and an
+	// instant winner must still show the loser's work in the aggregate.
+	f := cnf.New(2)
+	f.Add(1, 2)
+	started := make(chan struct{})
+	loser := Entrant{
+		Name: "loser",
+		Run: func(ctx context.Context, _ RunInput) RunOutput {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			return RunOutput{
+				Result:  sat.Result{Status: sat.Unknown, Stats: sat.Stats{Conflicts: 123, Propagations: 456}},
+				QAReads: 7,
+				QACalls: 3,
+			}
+		},
+	}
+	winner := Entrant{
+		Name: "winner",
+		Run: func(ctx context.Context, in RunInput) RunOutput {
+			<-started // let the loser finish one window first
+			s := sat.New(in.Formula, sat.MiniSATOptions())
+			return RunOutput{Result: s.Solve()}
+		},
+	}
+	out, err := Solve(context.Background(), f, []Entrant{loser, winner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner != "winner" {
+		t.Fatalf("winner %q", out.Winner)
+	}
+	if out.Aggregate.Windows < 2 {
+		t.Fatalf("aggregate windows %d, want >= 2 (loser's window dropped)", out.Aggregate.Windows)
+	}
+	if out.Aggregate.SAT.Conflicts < 123 || out.Aggregate.SAT.Propagations < 456 {
+		t.Fatalf("loser stats missing from aggregate: %+v", out.Aggregate.SAT)
+	}
+	if out.Aggregate.QAReads < 7 || out.Aggregate.QACalls < 3 {
+		t.Fatalf("QA work missing from aggregate: reads=%d calls=%d",
+			out.Aggregate.QAReads, out.Aggregate.QACalls)
+	}
+}
+
+func TestPortfolioHybridQAWorkAggregated(t *testing.T) {
+	// The hybrid entrant's QA effort must surface in the aggregate even when
+	// a classical entrant wins the race.
+	inst := gen.SatisfiableRandom3SAT(40, 168, 13)
+	out, err := Solve(context.Background(), inst.Formula, []Entrant{HyQSATEntrant(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Status != sat.Sat {
+		t.Fatalf("status %v", out.Result.Status)
+	}
+	if out.Aggregate.QACalls == 0 {
+		t.Fatal("hybrid ran but aggregate shows no QA calls")
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package portfolio
+
+const raceEnabled = false

@@ -17,8 +17,26 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 	s.cancelUntil(0)
 	s.status = Unknown
 	s.model = nil
+	// Root boundary: pull shared clauses before the assumptions go down (the
+	// assumptions loop itself never restarts, so between-call drains are its
+	// import points).
+	s.drainImports()
+	if s.status != Unknown {
+		return Result{Status: s.status, Stats: s.stats}
+	}
 
 	for {
+		// Honour the conflict budget and the asynchronous interrupt flag so
+		// incremental callers (the cube-and-conquer workers) can bound each
+		// call and stay cancellable.
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+			s.cancelUntil(0)
+			return Result{Status: Unknown, Stats: s.stats}
+		}
+		if s.interrupted.Load() {
+			s.cancelUntil(0)
+			return Result{Status: Unknown, Stats: s.stats}
+		}
 		conflict := s.propagate()
 		if conflict != crefUndef {
 			if s.decisionLevel() == 0 {
@@ -36,6 +54,7 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 				learnt, backjump := s.analyze(conflict)
 				s.proofAdd(learnt)
 				s.cancelUntil(backjump)
+				lbd := int32(1)
 				if len(learnt) == 1 {
 					if !s.enqueue(learnt[0], crefUndef) {
 						s.status = Unsat
@@ -46,7 +65,8 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 					}
 				} else {
 					c := s.attachClause(learnt, true, -1)
-					s.ca.setLBD(c, s.computeLBD(learnt))
+					lbd = s.computeLBD(learnt)
+					s.ca.setLBD(c, lbd)
 					s.stats.Learned++
 					if !s.enqueue(learnt[0], c) {
 						s.status = Unsat
@@ -56,6 +76,7 @@ func (s *Solver) SolveWithAssumptions(assumptions []cnf.Lit) Result {
 						return Result{Status: Unsat, Stats: s.stats}
 					}
 				}
+				s.exportLearnt(learnt, lbd)
 				// Re-check whether the assumptions are still jointly
 				// enqueueable; the outer loop will retry them.
 				if s.assumptionsConflict(assumptions) {

@@ -145,6 +145,19 @@ type Metrics struct {
 // SetMetrics installs live instrumentation sinks. Attach before solving.
 func (s *Solver) SetMetrics(m Metrics) { s.metrics = m }
 
+// Interrupt asynchronously stops the current search: the search loops poll
+// the flag where they poll the conflict budget, so the in-flight
+// Solve/SolveWithAssumptions call returns Unknown within one propagation
+// round instead of grinding out its remaining budget window. This is the one
+// solver method that is safe to call from another goroutine; the portfolio
+// and cube schedulers use it to reclaim losing workers the moment a race is
+// decided. The flag persists until ClearInterrupt, so a late Interrupt is
+// never lost between budget windows.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms an interrupted solver for further solving.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
 // Formula returns the input formula the solver was built from.
 func (s *Solver) Formula() *cnf.Formula { return s.formula }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sat
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package sat
+
+// raceEnabled reports whether the race detector is active; allocation gates
+// skip under it (instrumentation allocates on paths that are clean in
+// production builds).
+const raceEnabled = true

@@ -37,6 +37,9 @@ func (s *Solver) Step() StepStatus {
 	if s.opts.MaxIterations > 0 && s.stats.Iterations >= s.opts.MaxIterations {
 		return StepBudget
 	}
+	if s.interrupted.Load() {
+		return StepBudget
+	}
 	s.stats.Iterations++
 	if s.metrics.Iterations != nil {
 		s.metrics.Iterations.Set(s.stats.Iterations)
@@ -97,6 +100,9 @@ func (s *Solver) Step() StepStatus {
 // returns the result. Solve may be called again after budget exhaustion to
 // continue the search with a fresh budget window.
 func (s *Solver) Solve() Result {
+	if s.decisionLevel() == s.rootLevel {
+		s.drainImports()
+	}
 	for {
 		switch s.Step() {
 		case StepSat:
@@ -162,6 +168,9 @@ func (s *Solver) restart() {
 	s.conflictsUntilRestart = s.restartBudget()
 	s.emaConflicts = 0
 	s.lbdEMAFast = s.lbdEMASlow
+	// Restart boundaries are the import points of the sharing bus: the trail
+	// is back at the root, so foreign clauses attach cleanly.
+	s.drainImports()
 }
 
 // luby returns base^(position in the Luby sequence), the classic restart

@@ -213,13 +213,13 @@ func TestDRATTextRoundTrip(t *testing.T) {
 
 func TestParseDRATErrors(t *testing.T) {
 	for _, src := range []string{
-		"1 2\n",         // missing terminator
-		"1 2 0 3 0\n",   // literals after terminator
-		"x 0\n",         // non-integer
-		"99999999 0\n",  // out of range
-		"d 1 2\n",       // unterminated deletion
-		"-0 0\n",        // -0 literal
-		"1 -0 0\n",      // -0 literal mid-clause
+		"1 2\n",        // missing terminator
+		"1 2 0 3 0\n",  // literals after terminator
+		"x 0\n",        // non-integer
+		"99999999 0\n", // out of range
+		"d 1 2\n",      // unterminated deletion
+		"-0 0\n",       // -0 literal
+		"1 -0 0\n",     // -0 literal mid-clause
 	} {
 		if _, err := ParseDRATString(src); err == nil {
 			t.Fatalf("expected error for %q", src)

@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"sync"
+
+	"hyqsat/internal/cnf"
+	"hyqsat/internal/sat"
+)
+
+var _ sat.ProofWriter = (*SharedRecorder)(nil)
+
+// SharedRecorder is the proof log of a clause-sharing solver group: one
+// totally-ordered, additions-only trace that several solvers over the same
+// premise append to concurrently.
+//
+// Why this is sound: RUP is monotone under clause additions — a clause that
+// is a RUP consequence of the premise plus some prefix stays one when other
+// additions are interleaved into that prefix. Every solver appends its learnt
+// clause to this log before exporting it onto the bus, so an importer's
+// re-assertion is always ordered after the original addition and checks as a
+// harmless duplicate. Deletions are dropped: they are solver-local (a clause
+// one solver discards may still back a peer's derivation), and keeping every
+// addition alive only makes the checker's propagation stronger.
+//
+// A winner's certificate is Snapshot() taken at verdict time: its empty
+// clause is already in the log (the solver logs before returning), appends
+// that race in afterwards are excluded, and the checker accepts as soon as
+// the empty clause is derived.
+type SharedRecorder struct {
+	mu    sync.Mutex
+	steps Proof
+}
+
+// NewSharedRecorder returns an empty shared proof log.
+func NewSharedRecorder() *SharedRecorder { return &SharedRecorder{} }
+
+// ProofAdd implements sat.ProofWriter. Safe for concurrent use.
+func (r *SharedRecorder) ProofAdd(lits []cnf.Lit) {
+	cp := append([]cnf.Lit(nil), lits...)
+	r.mu.Lock()
+	r.steps = append(r.steps, Step{Lits: cp})
+	r.mu.Unlock()
+}
+
+// ProofDelete implements sat.ProofWriter as a no-op: deletions are
+// solver-local and never enter the shared log (see type comment).
+func (r *SharedRecorder) ProofDelete([]cnf.Lit) {}
+
+// Snapshot returns a copy of the log as recorded so far. Safe to call while
+// solvers are still appending; the copy is a consistent prefix.
+func (r *SharedRecorder) Snapshot() Proof {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(Proof(nil), r.steps...)
+}
+
+// Len returns the number of recorded steps.
+func (r *SharedRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.steps)
+}
