@@ -1,6 +1,6 @@
 // Command benchreport runs the repository's micro-benchmarks programmatically
 // and writes machine-readable baselines, so future changes have a perf
-// trajectory to compare against. Three suites exist:
+// trajectory to compare against. Four suites exist:
 //
 //   - sampler (default): the QA sweep-kernel workloads of the root
 //     BenchmarkSampleOnce / BenchmarkSamplerParallel → BENCH_baseline.json
@@ -9,12 +9,17 @@
 //   - portfolio: cube-and-conquer wall-clock scaling on the uf100/uuf100
 //     family at 1/2/4 workers, merged by benchmark name into BENCH_cdcl.json
 //     (the CDCL snapshot keeps its suite tag and existing entries)
+//   - embed: the frontend embedding paths on one template-eligible queue —
+//     cold Fast pipeline vs template instantiation vs cache hit, per
+//     topology → BENCH_embed.json (template_speedup records the cold/template
+//     ratio; the template rows must stay at 0 allocs/op)
 //
 // Usage:
 //
 //	benchreport                          # sampler suite → BENCH_baseline.json
 //	benchreport -suite cdcl              # cdcl suite → BENCH_cdcl.json
 //	benchreport -suite portfolio         # scaling suite merged into BENCH_cdcl.json
+//	benchreport -suite embed             # embedding suite → BENCH_embed.json
 //	benchreport -suite cdcl -o out.json  # write elsewhere
 //	benchreport -stdout                  # print instead of writing
 //	benchreport -compare BENCH_cdcl.json # regression gate: rerun the snapshot's
@@ -43,6 +48,7 @@ import (
 	"hyqsat/internal/bench"
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/gen"
+	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/portfolio"
 	"hyqsat/internal/sat"
 )
@@ -75,8 +81,13 @@ type report struct {
 	// work-sharing ceiling is ≈2×; SAT instances can exceed it because extra
 	// cubes diversify the search (the first model found wins, so parallel
 	// workers can skip work the serial run must do).
-	PortfolioSpeedup4W float64       `json:"portfolio_speedup_4w,omitempty"`
-	Benchmarks         []benchResult `json:"benchmarks"`
+	PortfolioSpeedup4W float64 `json:"portfolio_speedup_4w,omitempty"`
+	// TemplateSpeedup is the cold-Fast-pipeline ns/op over template
+	// instantiation ns/op on the same Chimera queue (embed suite). The
+	// acceptance bar is >= 5; check.sh's opt-in perf gate enforces it via
+	// TestEmbedTemplateSpeedup.
+	TemplateSpeedup float64       `json:"template_speedup,omitempty"`
+	Benchmarks      []benchResult `json:"benchmarks"`
 	// PreRefactor holds reference numbers recorded before a landmark change
 	// (for the cdcl suite: the pre-arena clause representation). It is
 	// carried through rewrites and never regenerated.
@@ -234,6 +245,58 @@ func portfolioSuite() (report, error) {
 	return rep, nil
 }
 
+// embedQueueLen is the embed-suite workload: a var-disjoint 3-literal queue
+// long enough to exercise real routing work in the cold Fast pipeline while
+// fitting both topologies' template capacity.
+const embedQueueLen = 128
+
+// embedSuite measures the three frontend embedding paths on one
+// template-eligible queue per topology. Cold Fast only exists on Chimera;
+// template instantiation and cache hits run everywhere.
+func embedSuite() (report, error) {
+	rep := hostReport("embed")
+	var coldNs, tmplNs float64
+	for _, topology := range []string{"chimera", "pegasus"} {
+		eb, err := hyqsat.NewEmbedBench(topology, embedQueueLen)
+		if err != nil {
+			return report{}, err
+		}
+		tmpl := run("EmbedTemplate/"+topology, 0, func(b *testing.B) {
+			eb.TemplateInstantiate() // warm the skeleton's scratch coefficients
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eb.TemplateInstantiate()
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, tmpl)
+		if eb.SupportsFast() {
+			cold := run("EmbedColdFast/"+topology, 0, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eb.ColdFast()
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, cold)
+			if topology == "chimera" {
+				coldNs, tmplNs = cold.NsPerOp, tmpl.NsPerOp
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, run("EmbedCacheHit/"+topology, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eb.CacheHit()
+			}
+		}))
+	}
+	if tmplNs > 0 {
+		rep.TemplateSpeedup = coldNs / tmplNs
+	}
+	return rep, nil
+}
+
 func runSuite(suite string) (report, error) {
 	switch suite {
 	case "sampler":
@@ -242,8 +305,10 @@ func runSuite(suite string) (report, error) {
 		return cdclSuite()
 	case "portfolio":
 		return portfolioSuite()
+	case "embed":
+		return embedSuite()
 	default:
-		return report{}, fmt.Errorf("unknown suite %q (want sampler, cdcl, or portfolio)", suite)
+		return report{}, fmt.Errorf("unknown suite %q (want sampler, cdcl, portfolio, or embed)", suite)
 	}
 }
 
@@ -253,6 +318,9 @@ func defaultOut(suite string) string {
 	// trajectory file.
 	if suite == "cdcl" || suite == "portfolio" {
 		return "BENCH_cdcl.json"
+	}
+	if suite == "embed" {
+		return "BENCH_embed.json"
 	}
 	return "BENCH_baseline.json"
 }
@@ -271,6 +339,9 @@ func mergeReports(prev, cur report) report {
 	}
 	if merged.PortfolioSpeedup4W == 0 {
 		merged.PortfolioSpeedup4W = prev.PortfolioSpeedup4W
+	}
+	if merged.TemplateSpeedup == 0 {
+		merged.TemplateSpeedup = prev.TemplateSpeedup
 	}
 	curByName := map[string]benchResult{}
 	for _, b := range cur.Benchmarks {
@@ -345,7 +416,7 @@ func fatal(err error) {
 }
 
 func main() {
-	suite := flag.String("suite", "sampler", "benchmark suite: sampler, cdcl, or portfolio")
+	suite := flag.String("suite", "sampler", "benchmark suite: sampler, cdcl, portfolio, or embed")
 	out := flag.String("o", "", "output path (default depends on suite)")
 	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
 	compare := flag.String("compare", "", "prior snapshot to compare against (regression gate; no file is written)")
@@ -425,6 +496,10 @@ func main() {
 	case "portfolio":
 		fmt.Printf("benchreport: wrote %s (CubeConquer uf100 4-worker speedup %.2fx on %d CPUs)\n",
 			path, rep.PortfolioSpeedup4W, rep.NumCPU)
+	case "embed":
+		fmt.Printf("benchreport: wrote %s (template %.0f ns/op %d allocs/op, %.0fx over cold Fast)\n",
+			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
+			rep.TemplateSpeedup)
 	default:
 		fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
 			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,

@@ -25,9 +25,9 @@ import (
 	"math"
 	"sort"
 
-	"hyqsat/internal/chimera"
 	"hyqsat/internal/embed"
 	"hyqsat/internal/qubo"
+	"hyqsat/internal/topo"
 )
 
 // Noise configures the hardware error model.
@@ -69,7 +69,7 @@ func LongSchedule() Schedule { return Schedule{Sweeps: 512, BetaMin: 0.05, BetaM
 // every field is read-only — one EmbeddedProblem may be sampled from many
 // goroutines concurrently.
 type EmbeddedProblem struct {
-	Graph     *chimera.Graph
+	Graph     topo.Topology
 	Embedding *embed.Embedding
 
 	Qubits  []int         // the active qubits, in a fixed order
@@ -128,7 +128,7 @@ func ChainStrengthFor(is *qubo.Ising) float64 {
 // and chain qubits are bound with a ferromagnetic coupling of the given
 // strength. Logical nodes must be present in the embedding; couplings whose
 // endpoints both embedded must be realised by at least one coupler.
-func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g *chimera.Graph, chainStrength float64) *EmbeddedProblem {
+func EmbedIsing(is *qubo.Ising, emb *embed.Embedding, g topo.Topology, chainStrength float64) *EmbeddedProblem {
 	ep := &EmbeddedProblem{
 		Graph:     g,
 		Embedding: emb,

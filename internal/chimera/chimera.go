@@ -1,192 +1,22 @@
-// Package chimera models the D-Wave Chimera hardware graph used by the
-// 2000Q quantum annealer: an M×N grid of cells, each containing L horizontal
-// and L vertical qubits with a complete bipartite (K_{L,L}) intra-cell
-// coupler set; horizontal qubits couple to the same-index horizontal qubit
-// of the neighbouring cell in their row, and vertical qubits likewise along
-// their column. The D-Wave 2000Q is Chimera(16,16,4) with 2048 qubits.
+// Package chimera re-exports the Chimera hardware model from internal/topo.
+// The implementation moved behind the topo.Topology interface when the
+// Pegasus model was added; this package remains as type aliases so existing
+// call sites and tests keep compiling unchanged. New code should import
+// internal/topo directly.
 package chimera
 
-import "fmt"
+import "hyqsat/internal/topo"
 
-// Graph is a Chimera(M,N,L) hardware graph with an optional set of broken
-// (unusable) qubits, as real annealers have.
-type Graph struct {
-	M, N, L int
-	broken  []bool
-}
+// Graph is a Chimera(M,N,L) hardware graph. Alias of topo.Chimera.
+type Graph = topo.Chimera
+
+// Edge is an unordered coupler between two qubits, with A < B. Alias of
+// topo.Edge.
+type Edge = topo.Edge
 
 // New returns a Chimera graph with M rows and N columns of cells, each with
 // L horizontal and L vertical qubits.
-func New(m, n, l int) *Graph {
-	if m <= 0 || n <= 0 || l <= 0 {
-		panic(fmt.Sprintf("chimera: invalid dimensions %d×%d×%d", m, n, l))
-	}
-	return &Graph{M: m, N: n, L: l, broken: make([]bool, m*n*2*l)}
-}
+func New(m, n, l int) *Graph { return topo.NewChimera(m, n, l) }
 
 // DWave2000Q returns the Chimera(16,16,4) topology of the D-Wave 2000Q.
-func DWave2000Q() *Graph { return New(16, 16, 4) }
-
-// NumQubits returns the total number of qubits, including broken ones.
-func (g *Graph) NumQubits() int { return g.M * g.N * 2 * g.L }
-
-// Qubit returns the linear index of the qubit at cell (r,c), orientation
-// horizontal/vertical, and in-cell index k ∈ [0,L).
-func (g *Graph) Qubit(r, c int, horizontal bool, k int) int {
-	if r < 0 || r >= g.M || c < 0 || c >= g.N || k < 0 || k >= g.L {
-		panic(fmt.Sprintf("chimera: qubit (%d,%d,%v,%d) out of range", r, c, horizontal, k))
-	}
-	u := 1
-	if horizontal {
-		u = 0
-	}
-	return ((r*g.N+c)*2+u)*g.L + k
-}
-
-// Coords inverts Qubit.
-func (g *Graph) Coords(q int) (r, c int, horizontal bool, k int) {
-	k = q % g.L
-	q /= g.L
-	u := q % 2
-	q /= 2
-	c = q % g.N
-	r = q / g.N
-	return r, c, u == 0, k
-}
-
-// MarkBroken marks qubit q unusable.
-func (g *Graph) MarkBroken(q int) { g.broken[q] = true }
-
-// IsBroken reports whether qubit q is unusable.
-func (g *Graph) IsBroken(q int) bool { return g.broken[q] }
-
-// NumWorking returns the number of usable qubits.
-func (g *Graph) NumWorking() int {
-	n := 0
-	for _, b := range g.broken {
-		if !b {
-			n++
-		}
-	}
-	return n
-}
-
-// Coupled reports whether qubits a and b share a coupler. Broken qubits have
-// no couplers.
-func (g *Graph) Coupled(a, b int) bool {
-	if a == b || g.broken[a] || g.broken[b] {
-		return false
-	}
-	ra, ca, ha, ka := g.Coords(a)
-	rb, cb, hb, kb := g.Coords(b)
-	switch {
-	case ra == rb && ca == cb && ha != hb:
-		return true // intra-cell K_{L,L}
-	case ha && hb && ra == rb && ka == kb && (ca-cb == 1 || cb-ca == 1):
-		return true // horizontal line link
-	case !ha && !hb && ca == cb && ka == kb && (ra-rb == 1 || rb-ra == 1):
-		return true // vertical line link
-	}
-	return false
-}
-
-// Neighbors returns the working qubits coupled to q (empty when q is broken).
-func (g *Graph) Neighbors(q int) []int {
-	if g.broken[q] {
-		return nil
-	}
-	r, c, h, k := g.Coords(q)
-	out := make([]int, 0, g.L+2)
-	for j := 0; j < g.L; j++ {
-		out = append(out, g.Qubit(r, c, !h, j))
-	}
-	if h {
-		if c > 0 {
-			out = append(out, g.Qubit(r, c-1, true, k))
-		}
-		if c < g.N-1 {
-			out = append(out, g.Qubit(r, c+1, true, k))
-		}
-	} else {
-		if r > 0 {
-			out = append(out, g.Qubit(r-1, c, false, k))
-		}
-		if r < g.M-1 {
-			out = append(out, g.Qubit(r+1, c, false, k))
-		}
-	}
-	kept := out[:0]
-	for _, n := range out {
-		if !g.broken[n] {
-			kept = append(kept, n)
-		}
-	}
-	return kept
-}
-
-// Edge is an unordered coupler between two qubits, with A < B.
-type Edge struct{ A, B int }
-
-// Edges enumerates every working coupler of the graph.
-func (g *Graph) Edges() []Edge {
-	var out []Edge
-	for q := 0; q < g.NumQubits(); q++ {
-		if g.broken[q] {
-			continue
-		}
-		for _, n := range g.Neighbors(q) {
-			if q < n {
-				out = append(out, Edge{q, n})
-			}
-		}
-	}
-	return out
-}
-
-// NumVerticalLines returns the number of vertical lines (N·L): a vertical
-// line is the chain of vertically-coupled qubits V(·,c,k) spanning all M
-// rows of one column. The paper's fast embedding allocates one logical
-// variable per vertical line.
-func (g *Graph) NumVerticalLines() int { return g.N * g.L }
-
-// VerticalLineQubit returns the qubit of vertical line `line` at row r.
-// Lines are numbered left to right: line = c·L + k.
-func (g *Graph) VerticalLineQubit(line, r int) int {
-	c, k := line/g.L, line%g.L
-	return g.Qubit(r, c, false, k)
-}
-
-// VerticalLineOf returns the vertical line index of a vertical qubit,
-// or -1 for horizontal qubits.
-func (g *Graph) VerticalLineOf(q int) int {
-	_, c, h, k := g.Coords(q)
-	if h {
-		return -1
-	}
-	return c*g.L + k
-}
-
-// NumHorizontalLines returns the number of horizontal lines (M·L): a
-// horizontal line is the chain H(r,·,k) spanning all N columns of one row.
-// The paper's fast embedding allocates auxiliary variables and chain
-// extensions on horizontal lines.
-func (g *Graph) NumHorizontalLines() int { return g.M * g.L }
-
-// HorizontalLineQubit returns the qubit of horizontal line `line` at
-// column c. Lines are numbered bottom row first (the paper's greedy
-// allocation starts from the bottom horizontal line): line = (M−1−r)·L + k.
-func (g *Graph) HorizontalLineQubit(line, c int) int {
-	r := g.M - 1 - line/g.L
-	k := line % g.L
-	return g.Qubit(r, c, true, k)
-}
-
-// HorizontalLineOf returns the horizontal line index of a horizontal qubit,
-// or -1 for vertical qubits.
-func (g *Graph) HorizontalLineOf(q int) int {
-	r, _, h, k := g.Coords(q)
-	if !h {
-		return -1
-	}
-	return (g.M-1-r)*g.L + k
-}
+func DWave2000Q() *Graph { return topo.DWave2000Q() }

@@ -21,8 +21,8 @@ import (
 	"fmt"
 	"sort"
 
-	"hyqsat/internal/chimera"
 	"hyqsat/internal/qubo"
+	"hyqsat/internal/topo"
 )
 
 // Problem is the graph to embed: nodes 0..NumNodes-1 and quadratic-coupling
@@ -90,7 +90,7 @@ func (e *Embedding) MaxChainLength() int {
 // embedded nodes is realised by at least one inter-chain coupler. Edges with
 // an unembedded endpoint are ignored (partial embeddings are legal: the
 // caller decides which nodes had to be embedded).
-func Verify(p *Problem, g *chimera.Graph, e *Embedding) error {
+func Verify(p *Problem, g topo.Topology, e *Embedding) error {
 	owner := map[int]int{}
 	for node, chain := range e.Chains {
 		if len(chain) == 0 {
@@ -127,7 +127,7 @@ func Verify(p *Problem, g *chimera.Graph, e *Embedding) error {
 	return nil
 }
 
-func chainConnected(g *chimera.Graph, chain []int) bool {
+func chainConnected(g topo.Topology, chain []int) bool {
 	if len(chain) <= 1 {
 		return true
 	}
@@ -150,7 +150,7 @@ func chainConnected(g *chimera.Graph, chain []int) bool {
 	return len(visited) == len(chain)
 }
 
-func chainsCoupled(g *chimera.Graph, a, b []int) bool {
+func chainsCoupled(g topo.Topology, a, b []int) bool {
 	inB := map[int]bool{}
 	for _, q := range b {
 		inB[q] = true
@@ -168,8 +168,8 @@ func chainsCoupled(g *chimera.Graph, a, b []int) bool {
 // InterChainCouplers returns every hardware coupler connecting the chains of
 // nodes u and v — the couplers across which the sampler distributes the
 // logical J weight.
-func InterChainCouplers(g *chimera.Graph, e *Embedding, u, v int) []chimera.Edge {
-	var out []chimera.Edge
+func InterChainCouplers(g topo.Topology, e *Embedding, u, v int) []topo.Edge {
+	var out []topo.Edge
 	inV := map[int]bool{}
 	for _, q := range e.Chains[v] {
 		inV[q] = true
@@ -181,7 +181,7 @@ func InterChainCouplers(g *chimera.Graph, e *Embedding, u, v int) []chimera.Edge
 				if a > b {
 					a, b = b, a
 				}
-				out = append(out, chimera.Edge{A: a, B: b})
+				out = append(out, topo.Edge{A: a, B: b})
 			}
 		}
 	}
@@ -190,16 +190,16 @@ func InterChainCouplers(g *chimera.Graph, e *Embedding, u, v int) []chimera.Edge
 
 // IntraChainCouplers returns the hardware couplers joining qubits within one
 // chain — the couplers that receive the ferromagnetic chain coupling.
-func IntraChainCouplers(g *chimera.Graph, chain []int) []chimera.Edge {
+func IntraChainCouplers(g topo.Topology, chain []int) []topo.Edge {
 	in := map[int]bool{}
 	for _, q := range chain {
 		in[q] = true
 	}
-	var out []chimera.Edge
+	var out []topo.Edge
 	for _, q := range chain {
 		for _, n := range g.Neighbors(q) {
 			if in[n] && q < n {
-				out = append(out, chimera.Edge{A: q, B: n})
+				out = append(out, topo.Edge{A: q, B: n})
 			}
 		}
 	}

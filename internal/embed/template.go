@@ -1,0 +1,112 @@
+package embed
+
+import (
+	"fmt"
+
+	"hyqsat/internal/qubo"
+	"hyqsat/internal/topo"
+)
+
+// TemplateSet is the precomputed clause-tile layout for one topology: the
+// paper's observation that every 3-SAT clause QUBO has the same shape, pushed
+// to its limit. Each K_{L,L} unit cell of the hardware hosts one clause
+// gadget with fixed slot roles, so embedding a template-eligible queue is a
+// rename — clause i goes to tile i — instead of a routing search.
+//
+// The gadget for a 3-literal clause uses five qubits of one cell, all of its
+// couplers crossing the cell's bipartition (so it is valid on any Topology
+// whose Tiles are complete bipartite):
+//
+//	n1 → B0      n2 → A0      n3 → A1      aux → {A2, B1} (2-qubit chain)
+//
+// realising the encoding's quadratic support {n1,n2}→(B0,A0),
+// {a,n1}→(A2,B0), {a,n2}→(B1,A0), {a,n3}→(B1,A1) plus the ferromagnetic
+// chain coupler (A2,B1). A 2-literal clause uses (B0,A0); a unit clause just
+// B0. Slot selection is broken-qubit aware: at construction each tile picks
+// its slots from working qubits, and tiles with fewer than 3 working A-side
+// or 2 working B-side qubits are skipped, shrinking capacity rather than
+// producing invalid embeddings. Queues that fail eligibility (shape, or
+// length over capacity) fall back to the Fast embedder.
+type TemplateSet struct {
+	g     topo.Topology
+	tiles []tileSlots
+}
+
+// tileSlots are one tile's chosen working qubits. A = (V1, V2, AuxA),
+// B = (V0, AuxB) in the gadget above.
+type tileSlots struct {
+	A [3]int
+	B [2]int
+}
+
+// NewTemplateSet precomputes the clause-tile layout for a topology. The
+// topology must not be mutated (MarkBroken) afterwards — slot selection is
+// done once, here.
+func NewTemplateSet(g topo.Topology) *TemplateSet {
+	ts := &TemplateSet{g: g}
+	for _, tile := range g.Tiles() {
+		var s tileSlots
+		na, nb := 0, 0
+		for _, q := range tile.A {
+			if na < len(s.A) && !g.IsBroken(q) {
+				s.A[na] = q
+				na++
+			}
+		}
+		for _, q := range tile.B {
+			if nb < len(s.B) && !g.IsBroken(q) {
+				s.B[nb] = q
+				nb++
+			}
+		}
+		if na == len(s.A) && nb == len(s.B) {
+			ts.tiles = append(ts.tiles, s)
+		}
+	}
+	return ts
+}
+
+// Topology returns the hardware graph the templates are routed on.
+func (ts *TemplateSet) Topology() topo.Topology { return ts.g }
+
+// Capacity returns the number of clauses the template path can host — one
+// per usable tile.
+func (ts *TemplateSet) Capacity() int { return len(ts.tiles) }
+
+// EmbeddingFor instantiates the template embedding for a queue shape (as
+// produced by qubo.ShapeChecker.Shape): clause i's nodes are mapped onto tile
+// i's slots under qubo.LayoutForShape's node numbering. It errors when the
+// shape exceeds capacity or contains a length outside [1,3].
+func (ts *TemplateSet) EmbeddingFor(shape []int) (*Embedding, error) {
+	if len(shape) > ts.Capacity() {
+		return nil, fmt.Errorf("embed: shape has %d clauses, template capacity is %d", len(shape), ts.Capacity())
+	}
+	layout, _ := qubo.LayoutForShape(shape)
+	emb := NewEmbedding()
+	for i, n := range shape {
+		cn, s := layout[i], ts.tiles[i]
+		switch n {
+		case 1:
+			emb.Chains[cn.Lit[0]] = []int{s.B[0]}
+		case 2:
+			emb.Chains[cn.Lit[0]] = []int{s.B[0]}
+			emb.Chains[cn.Lit[1]] = []int{s.A[0]}
+		case 3:
+			emb.Chains[cn.Lit[0]] = []int{s.B[0]}
+			emb.Chains[cn.Lit[1]] = []int{s.A[0]}
+			emb.Chains[cn.Lit[2]] = []int{s.A[1]}
+			emb.Chains[cn.Aux] = []int{s.A[2], s.B[1]}
+		default:
+			return nil, fmt.Errorf("embed: clause %d has shape %d, want 1–3", i, n)
+		}
+	}
+	return emb, nil
+}
+
+// ProblemFor returns the problem graph a shape's encoding will carry —
+// qubo.EdgesForShape over qubo.LayoutForShape's numbering — for verification
+// against EmbeddingFor's output.
+func (ts *TemplateSet) ProblemFor(shape []int) *Problem {
+	_, numNodes := qubo.LayoutForShape(shape)
+	return &Problem{NumNodes: numNodes, Edges: qubo.EdgesForShape(shape)}
+}

@@ -5,119 +5,127 @@ import (
 
 	"hyqsat/internal/anneal"
 	"hyqsat/internal/cnf"
+	"hyqsat/internal/obs"
 	"hyqsat/internal/qubo"
 )
 
-// embedCache memoises the frontend pipeline (encode → fast-embed → restrict →
-// adjust → normalise → program) per clause queue. Queues repeat across warm-up
-// iterations — the activity queue is stable while CDCL works on one region of
-// the formula — and the pipeline output depends only on the queue indices (the
-// formula and options are fixed per solver), so a repeated queue can reuse its
-// EmbeddedProblem verbatim. EmbeddedProblem is read-only after EmbedIsing, so
-// a cached problem is safe to sample again, concurrently or not.
-type embedCache struct {
-	entries map[uint64]*embedCacheEntry
-	order   []uint64 // insertion order, for FIFO eviction
-	cap     int
-}
-
+// embedCacheEntry is one memoised output of the frontend pipeline
+// (encode → embed → restrict → adjust → normalise → program) for a clause
+// queue. Entries are immutable after construction — EmbeddedProblem is
+// read-only after programming — so one entry may be sampled from many
+// goroutines concurrently. embedded == 0 marks a queue the embedder could
+// not use at all (skip QA for it); viaTemplate records whether the template
+// fast path built it (for observability only).
 type embedCacheEntry struct {
-	key      []int // the exact queue indices, to reject hash collisions
-	embEnc   *qubo.Encoding
-	ep       *anneal.EmbeddedProblem
-	embedded int // embedded clause count; 0 means "queue unusable, skip QA"
+	embEnc      *qubo.Encoding
+	ep          *anneal.EmbeddedProblem
+	embedded    int
+	viaTemplate bool
 }
 
-// embedCacheCap bounds the cache: queues beyond it evict the oldest entry.
-// Warm-ups revisit a small working set of queues, so a modest cap captures
-// nearly all repeats without holding every embedding of a long run alive.
-const embedCacheCap = 64
+// embedCacheCap is the default capacity of an embedding cache. The former
+// FIFO held 64 entries — enough for one solver's warm-up working set, far too
+// small once a cache is shared across portfolio workers and cube warm-ups;
+// 512 covers the working sets observed there while bounding retained
+// EmbeddedProblems to a few MB.
+const embedCacheCap = 512
 
-func newEmbedCache() *embedCache {
-	return &embedCache{entries: make(map[uint64]*embedCacheEntry), cap: embedCacheCap}
-}
+// embedCacheShards is the number of independently locked shards. Eight is
+// plenty to decorrelate the handful of concurrent solvers a host runs while
+// keeping per-shard LRU lists long enough to be useful.
+const embedCacheShards = 8
 
-// hashQueue folds the queue indices through the splitmix64 finaliser.
-func hashQueue(queueIdx []int) uint64 {
-	h := uint64(len(queueIdx)) + 0x9e3779b97f4a7c15
-	for _, ci := range queueIdx {
-		h ^= uint64(ci) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h ^= h >> 30
-		h *= 0xbf58476d1ce4e5b9
-	}
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	return h ^ (h >> 31)
-}
-
-func sameQueue(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// lookup returns the entry for the queue, or nil on a miss. A hash collision
-// with a different queue counts as a miss (store will overwrite the slot).
-func (c *embedCache) lookup(queueIdx []int) *embedCacheEntry {
-	ent, ok := c.entries[hashQueue(queueIdx)]
-	if !ok || !sameQueue(ent.key, queueIdx) {
-		return nil
-	}
-	return ent
-}
-
-// store records the pipeline output for the queue, evicting FIFO at capacity.
-func (c *embedCache) store(queueIdx []int, ent *embedCacheEntry) {
-	h := hashQueue(queueIdx)
-	if _, exists := c.entries[h]; !exists {
-		if len(c.order) >= c.cap {
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
-		}
-		c.order = append(c.order, h)
-	}
-	ent.key = append([]int(nil), queueIdx...)
-	c.entries[h] = ent
-}
-
-// SharedEmbedCache is an embedding cache shared by several solvers, keyed by
-// the literal *content* of the clause queue rather than by clause indices.
-// Index keys are only meaningful within one solver's formula; the
-// cube-and-conquer per-cube QA warm-up builds a fresh formula per cube (base
-// clauses plus cube units), where the same index can name different clauses —
-// content addressing makes cross-cube reuse sound. The pipeline output
-// depends only on the queue's clause contents (plus fixed hardware/options),
-// and cached entries are immutable after construction, so concurrent reuse is
-// safe. Eviction is FIFO, as in the per-solver cache.
+// SharedEmbedCache memoises the frontend embedding pipeline per clause
+// queue, keyed by the literal *content* of the queue (clauses flattened,
+// NoLit-separated). Content addressing makes the cache sound across solvers:
+// index keys are only meaningful within one formula, but the
+// cube-and-conquer warm-up builds a fresh formula per cube where the same
+// index names different clauses. The pipeline output depends only on the
+// queue's clause contents plus fixed hardware/options, so any two solvers
+// configured alike may share a cache.
+//
+// Internally the cache is sharded — embedCacheShards × (map + intrusive LRU
+// list), one mutex per shard, shard selected by key hash — so concurrent
+// portfolio workers do not serialise on one lock the way the old
+// single-mutex FIFO did. Eviction is per-shard LRU: a lookup hit refreshes
+// the entry, a store at capacity evicts the shard's least-recently-used
+// entry. Hash collisions count as misses (a miss only costs a pipeline
+// re-run, never correctness; the store overwrites the slot).
+//
+// Hit/miss/eviction counters are standalone atomics by default;
+// AttachMetrics rebinds them to embed_cache_hits / embed_cache_misses /
+// embed_cache_evictions in an obs registry so they surface on /metrics.
 type SharedEmbedCache struct {
+	shards [embedCacheShards]cacheShard
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+type cacheShard struct {
 	mu      sync.Mutex
-	entries map[uint64]*sharedCacheEntry
-	order   []uint64
+	entries map[uint64]*lruEntry
+	head    *lruEntry // most recently used
+	tail    *lruEntry // least recently used
 	cap     int
 }
 
-type sharedCacheEntry struct {
-	key []cnf.Lit // flattened queue contents (NoLit-separated), exact compare
-	ent *embedCacheEntry
+type lruEntry struct {
+	hash       uint64
+	key        []cnf.Lit // flattened queue contents, exact compare
+	ent        *embedCacheEntry
+	prev, next *lruEntry
 }
 
-// NewSharedEmbedCache returns a shared cache bounded to capacity entries
-// (<= 0 selects the per-solver default).
+// NewSharedEmbedCache returns an embedding cache bounded to roughly capacity
+// entries (<= 0 selects the default, embedCacheCap). Capacity is split
+// evenly across shards, at least one entry each.
 func NewSharedEmbedCache(capacity int) *SharedEmbedCache {
 	if capacity <= 0 {
 		capacity = embedCacheCap
 	}
-	return &SharedEmbedCache{entries: make(map[uint64]*sharedCacheEntry), cap: capacity}
+	perShard := (capacity + embedCacheShards - 1) / embedCacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &SharedEmbedCache{
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*lruEntry)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// newEmbedCache returns a solver-private cache at the default capacity.
+func newEmbedCache() *SharedEmbedCache { return NewSharedEmbedCache(0) }
+
+// AttachMetrics rebinds the cache's counters to the registry's
+// embed_cache_hits / embed_cache_misses / embed_cache_evictions, so cache
+// behaviour shows up on /metrics and in -stats output. Call before the cache
+// is shared with running solvers; counts accumulated so far stay on the old
+// counters.
+func (c *SharedEmbedCache) AttachMetrics(reg *obs.Registry) {
+	c.hits = reg.Counter("embed_cache_hits")
+	c.misses = reg.Counter("embed_cache_misses")
+	c.evictions = reg.Counter("embed_cache_evictions")
+}
+
+// HitsMissesEvictions returns the cache's lifetime counter values.
+func (c *SharedEmbedCache) HitsMissesEvictions() (hits, misses, evictions int64) {
+	return c.hits.Value(), c.misses.Value(), c.evictions.Value()
+}
+
+func (c *SharedEmbedCache) shard(h uint64) *cacheShard {
+	return &c.shards[h>>(64-3)%embedCacheShards]
 }
 
 // queueContentKey flattens the queue's clauses into a comparable literal
-// sequence (clauses separated by NoLit) and its hash.
+// sequence (clauses separated by NoLit) and its splitmix64-folded hash.
 func queueContentKey(f *cnf.Formula, queueIdx []int) ([]cnf.Lit, uint64) {
 	n := len(queueIdx)
 	for _, ci := range queueIdx {
@@ -128,6 +136,10 @@ func queueContentKey(f *cnf.Formula, queueIdx []int) ([]cnf.Lit, uint64) {
 		key = append(key, f.Clauses[ci]...)
 		key = append(key, cnf.NoLit)
 	}
+	return key, hashLits(key)
+}
+
+func hashLits(key []cnf.Lit) uint64 {
 	h := uint64(len(key)) + 0x9e3779b97f4a7c15
 	for _, l := range key {
 		h ^= uint64(int64(l)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
@@ -136,7 +148,7 @@ func queueContentKey(f *cnf.Formula, queueIdx []int) ([]cnf.Lit, uint64) {
 	}
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
-	return key, h ^ (h >> 31)
+	return h ^ (h >> 31)
 }
 
 func sameKey(a, b []cnf.Lit) bool {
@@ -151,35 +163,101 @@ func sameKey(a, b []cnf.Lit) bool {
 	return true
 }
 
-// lookup returns the entry for the content key, or nil. Collisions count as
-// misses (a miss only costs a pipeline re-run, never correctness).
+// lookup returns the cached entry for the content key, refreshing its LRU
+// position, or nil on a miss.
 func (c *SharedEmbedCache) lookup(key []cnf.Lit, h uint64) *embedCacheEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sc, ok := c.entries[h]
-	if !ok || !sameKey(sc.key, key) {
+	s := c.shard(h)
+	s.mu.Lock()
+	e, ok := s.entries[h]
+	if !ok || !sameKey(e.key, key) {
+		s.mu.Unlock()
+		c.misses.Inc()
 		return nil
 	}
-	return sc.ent
+	s.moveToFront(e)
+	ent := e.ent
+	s.mu.Unlock()
+	c.hits.Inc()
+	return ent
 }
 
-// store records the pipeline output under the content key.
+// store records the pipeline output under the content key as the shard's
+// most recently used entry, evicting LRU at capacity. The key is copied, so
+// callers may keep mutating their slice.
 func (c *SharedEmbedCache) store(key []cnf.Lit, h uint64, ent *embedCacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.entries[h]; !exists {
-		if len(c.order) >= c.cap {
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
-		}
-		c.order = append(c.order, h)
+	key = append([]cnf.Lit(nil), key...)
+	s := c.shard(h)
+	s.mu.Lock()
+	if e, ok := s.entries[h]; ok {
+		// Overwrite in place: same queue re-stored, or a hash collision
+		// replacing the previous occupant.
+		e.key = key
+		e.ent = ent
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
 	}
-	c.entries[h] = &sharedCacheEntry{key: key, ent: ent}
+	e := &lruEntry{hash: h, key: key, ent: ent}
+	s.entries[h] = e
+	s.pushFront(e)
+	evicted := false
+	if len(s.entries) > s.cap {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.entries, lru.hash)
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Inc()
+	}
 }
 
-// Len returns the number of cached embeddings.
+// Len returns the number of cached embeddings across all shards.
 func (c *SharedEmbedCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Intrusive doubly-linked LRU list, head = most recently used. All three
+// helpers require the shard lock.
+
+func (s *cacheShard) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *lruEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
 }

@@ -114,44 +114,5 @@ func TestEmbedCacheCountersConsistent(t *testing.T) {
 	}
 }
 
-// TestEmbedCacheUnit exercises lookup, store, collision-by-value rejection,
-// and FIFO eviction directly.
-func TestEmbedCacheUnit(t *testing.T) {
-	c := newEmbedCache()
-	c.cap = 3
-	q1, q2 := []int{1, 2, 3}, []int{1, 2, 4}
-	if c.lookup(q1) != nil {
-		t.Fatal("hit on empty cache")
-	}
-	e1 := &embedCacheEntry{embedded: 1}
-	c.store(q1, e1)
-	if got := c.lookup(q1); got != e1 {
-		t.Fatal("stored entry not found")
-	}
-	if c.lookup(q2) != nil {
-		t.Fatal("different queue must miss")
-	}
-	// Stored keys are copies: mutating the caller's slice must not corrupt.
-	q1[0] = 99
-	if c.lookup([]int{1, 2, 3}) != e1 {
-		t.Fatal("cache key aliased caller slice")
-	}
-	// FIFO eviction at capacity.
-	c.store([]int{5}, &embedCacheEntry{})
-	c.store([]int{6}, &embedCacheEntry{})
-	c.store([]int{7}, &embedCacheEntry{}) // evicts q1
-	if c.lookup([]int{1, 2, 3}) != nil {
-		t.Fatal("oldest entry not evicted")
-	}
-	if c.lookup([]int{5}) == nil || c.lookup([]int{6}) == nil || c.lookup([]int{7}) == nil {
-		t.Fatal("recent entries evicted")
-	}
-	// Restoring an existing key must not evict anything.
-	c.store([]int{5}, &embedCacheEntry{embedded: 2})
-	if got := c.lookup([]int{5}); got == nil || got.embedded != 2 {
-		t.Fatal("re-store did not replace entry")
-	}
-	if c.lookup([]int{6}) == nil || c.lookup([]int{7}) == nil {
-		t.Fatal("re-store evicted another entry")
-	}
-}
+// The direct lookup/store/eviction unit tests for the sharded LRU cache live
+// in cache_test.go.

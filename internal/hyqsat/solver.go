@@ -17,6 +17,7 @@ import (
 	"hyqsat/internal/qpu"
 	"hyqsat/internal/qubo"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/topo"
 	"hyqsat/internal/verify"
 )
 
@@ -43,7 +44,11 @@ const StrategyNone StrategyMask = 1 << 7
 // paper-faithful defaults by New.
 type Options struct {
 	// Hardware is the QA topology; defaults to the D-Wave 2000Q Chimera.
-	Hardware *chimera.Graph
+	// Chimera hardware embeds through the template fast path with the
+	// paper's Fast embedder as fallback; other topologies (topo.Pegasus)
+	// embed through templates only — queues that fit no template degrade to
+	// pure CDCL for that iteration.
+	Hardware topo.Topology
 	// Schedule and Noise configure the annealing substitute. The defaults
 	// (DefaultSchedule, DWave2000QNoise) emulate the real device; use
 	// LongSchedule + NoNoise for the paper's noise-free simulator.
@@ -107,6 +112,11 @@ type Options struct {
 	// every cube's solver so repeated clause queues reuse their embeddings
 	// across cubes.
 	Cache *SharedEmbedCache
+
+	// DisableTemplates turns off the precomputed clause-tile embedding fast
+	// path, forcing every cache miss through the full Fast embedder (the
+	// Fig 13 pipeline). Mainly for benchmarks and ablations.
+	DisableTemplates bool
 
 	// Proof, when non-nil, receives the CDCL core's clause trace in DRAT
 	// form. The proof's premise is the 3-CNF formula actually solved
@@ -211,6 +221,14 @@ type Stats struct {
 	// encode → embed → program pipeline for a repeated clause queue.
 	EmbedCacheHits   int
 	EmbedCacheMisses int
+	// How cache misses were served: template instantiation (O(1) rename
+	// onto the precomputed tile layout) vs a full Fast embedder run.
+	EmbedTemplateHits int
+	EmbedFastRuns     int
+	// LRU evictions in the embedding cache the solver used. When Options.Cache
+	// shares one cache across solvers, this counts evictions cache-wide, not
+	// just this solver's.
+	EmbedCacheEvictions int
 
 	Strategy1Hits int
 	Strategy2Hits int
@@ -261,7 +279,15 @@ type Solver struct {
 	varAdj  [][]int
 	sampler *anneal.Sampler
 	backend qpu.Backend
-	cache   *embedCache
+	cache   *SharedEmbedCache
+
+	// Template embedding state: the precomputed clause-tile layout for the
+	// hardware topology, per-shape instantiation builders (memoised — the
+	// queue generator produces a handful of shapes per solve), and the
+	// reusable eligibility checker.
+	templates  *embed.TemplateSet
+	builders   map[string]*anneal.TemplateBuilder
+	shapeCheck *qubo.ShapeChecker
 
 	// Telemetry: every counter of the former Stats struct lives in the
 	// registry now (Stats() reads them back); phase time accounting goes
@@ -299,10 +325,15 @@ type solverMetrics struct {
 	broken      *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
-	strat       [4]*obs.Counter
-	qaDeviceNs  *obs.Counter
-	degraded    *obs.Counter // iterations that lost QA guidance to a backend fault
-	invalid     *obs.Counter // read sets rejected by boundary validation
+	// Embedding-path counters: a cache miss is served either by template
+	// instantiation (an O(1) rename into preallocated buffers) or by a full
+	// Fast embedder run — the ratio is the template layer's win.
+	templateHits *obs.Counter
+	fastRuns     *obs.Counter
+	strat        [4]*obs.Counter
+	qaDeviceNs   *obs.Counter
+	degraded     *obs.Counter // iterations that lost QA guidance to a backend fault
+	invalid      *obs.Counter // read sets rejected by boundary validation
 
 	iteration  *obs.Gauge // hybrid warm-up iterations so far
 	queueDepth *obs.Gauge // clause-queue length of the latest frontend pass
@@ -321,12 +352,16 @@ func newSolverMetrics(reg *obs.Registry) solverMetrics {
 		broken:      reg.Counter("hyqsat_broken_chains"),
 		cacheHits:   reg.Counter("hyqsat_embed_cache_hits"),
 		cacheMisses: reg.Counter("hyqsat_embed_cache_misses"),
-		degraded:    reg.Counter("hyqsat_qa_degraded"),
-		invalid:     reg.Counter("hyqsat_qa_invalid_readsets"),
-		qaDeviceNs:  reg.Counter("hyqsat_phase_qa_device_ns"),
-		iteration:   reg.Gauge("hyqsat_iteration"),
-		queueDepth:  reg.Gauge("hyqsat_queue_depth"),
-		cdclIters:   reg.Gauge("hyqsat_cdcl_iterations"),
+		// Unprefixed names per the embedding-layer convention shared with
+		// SharedEmbedCache.AttachMetrics (embed_cache_*).
+		templateHits: reg.Counter("embed_template_hits"),
+		fastRuns:     reg.Counter("embed_fast_runs"),
+		degraded:     reg.Counter("hyqsat_qa_degraded"),
+		invalid:      reg.Counter("hyqsat_qa_invalid_readsets"),
+		qaDeviceNs:   reg.Counter("hyqsat_phase_qa_device_ns"),
+		iteration:    reg.Gauge("hyqsat_iteration"),
+		queueDepth:   reg.Gauge("hyqsat_queue_depth"),
+		cdclIters:    reg.Gauge("hyqsat_cdcl_iterations"),
 		// Energy buckets follow the gnb partition landmarks (0 / 4.5 / 8);
 		// chain-break fraction is bucketed in tenths.
 		readEnergy: reg.Histogram("hyqsat_qa_read_energy",
@@ -361,6 +396,15 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	}
 	s.sampler.Workers = opts.SampleWorkers
 
+	// Template embedding precomputation: one routed tile layout per
+	// topology, instantiated per queue shape. Cheap (one pass over the
+	// tiles), and it makes cache misses on eligible queues O(1) renames.
+	if !opts.DisableTemplates {
+		s.templates = embed.NewTemplateSet(opts.Hardware)
+		s.builders = map[string]*anneal.TemplateBuilder{}
+		s.shapeCheck = qubo.NewShapeChecker()
+	}
+
 	// Telemetry wiring: one registry and one tracer reach every layer of the
 	// pipeline (CDCL core, sampler, hybrid loop). Tracing and metrics never
 	// consume randomness or alter control flow, so solver output is
@@ -374,6 +418,10 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		s.trace = obs.Nop()
 	}
 	s.m = newSolverMetrics(s.reg)
+	// Surface the private cache's hit/miss/eviction counters on the solver
+	// registry (a shared Options.Cache keeps its own counters — attach it to
+	// a registry where it is created, not per solver).
+	s.cache.AttachMetrics(s.reg)
 	s.phases = obs.NewPhaseTracker(s.reg, s.trace, "hyqsat_", "frontend", "backend", "cdcl")
 	s.sat.SetTracer(s.trace)
 	s.sat.SetMetrics(sat.Metrics{
@@ -442,25 +490,33 @@ func (s *Solver) WarmupBudget() int {
 // registry directly (SAT sub-stats are not atomics).
 func (s *Solver) Stats() Stats {
 	st := Stats{
-		SAT:              s.sat.Stats(),
-		WarmupIterations: int(s.m.warmup.Value()),
-		QACalls:          int(s.m.qaCalls.Value()),
-		QAReads:          s.m.qaReads.Value(),
-		EmbeddedClauses:  s.m.embedded.Value(),
-		BrokenChains:     s.m.broken.Value(),
-		EmbedCacheHits:   int(s.m.cacheHits.Value()),
-		EmbedCacheMisses: int(s.m.cacheMisses.Value()),
-		Strategy1Hits:    int(s.m.strat[0].Value()),
-		Strategy2Hits:    int(s.m.strat[1].Value()),
-		Strategy3Hits:    int(s.m.strat[2].Value()),
-		Strategy4Hits:    int(s.m.strat[3].Value()),
-		QADegraded:       s.m.degraded.Value(),
-		QAInvalid:        s.m.invalid.Value(),
-		Frontend:         s.phases.Total(phaseFrontend),
-		Backend:          s.phases.Total(phaseBackend),
-		CDCL:             s.phases.Total(phaseCDCL),
-		QADevice:         time.Duration(s.m.qaDeviceNs.Value()),
+		SAT:               s.sat.Stats(),
+		WarmupIterations:  int(s.m.warmup.Value()),
+		QACalls:           int(s.m.qaCalls.Value()),
+		QAReads:           s.m.qaReads.Value(),
+		EmbeddedClauses:   s.m.embedded.Value(),
+		BrokenChains:      s.m.broken.Value(),
+		EmbedCacheHits:    int(s.m.cacheHits.Value()),
+		EmbedCacheMisses:  int(s.m.cacheMisses.Value()),
+		EmbedTemplateHits: int(s.m.templateHits.Value()),
+		EmbedFastRuns:     int(s.m.fastRuns.Value()),
+		Strategy1Hits:     int(s.m.strat[0].Value()),
+		Strategy2Hits:     int(s.m.strat[1].Value()),
+		Strategy3Hits:     int(s.m.strat[2].Value()),
+		Strategy4Hits:     int(s.m.strat[3].Value()),
+		QADegraded:        s.m.degraded.Value(),
+		QAInvalid:         s.m.invalid.Value(),
+		Frontend:          s.phases.Total(phaseFrontend),
+		Backend:           s.phases.Total(phaseBackend),
+		CDCL:              s.phases.Total(phaseCDCL),
+		QADevice:          time.Duration(s.m.qaDeviceNs.Value()),
 	}
+	cache := s.cache
+	if s.opts.Cache != nil {
+		cache = s.opts.Cache
+	}
+	_, _, ev := cache.HitsMissesEvictions()
+	st.EmbedCacheEvictions = int(ev)
 	return st
 }
 
@@ -641,28 +697,22 @@ func (s *Solver) hybridIteration(ctx context.Context) (done bool, res Result) {
 		queueIdx = RandomQueue(unsat, s.opts.QueueLimit, s.rng)
 	}
 	s.m.queueDepth.Set(int64(len(queueIdx)))
-	var ent *embedCacheEntry
-	var sharedKey []cnf.Lit
-	var sharedHash uint64
-	if sc := s.opts.Cache; sc != nil {
-		// Shared cache: content-addressed, so entries from other solvers
-		// (other cubes) with the same queue contents are reusable.
-		sharedKey, sharedHash = queueContentKey(s.formula, queueIdx)
-		ent = sc.lookup(sharedKey, sharedHash)
-	} else {
-		ent = s.cache.lookup(queueIdx)
+	// Both the private and the shared cache are content-addressed sharded
+	// LRUs now; Options.Cache only widens the sharing scope to other solvers
+	// (other cubes, portfolio workers) with identical pipeline options.
+	cache := s.cache
+	if s.opts.Cache != nil {
+		cache = s.opts.Cache
 	}
+	key, hash := queueContentKey(s.formula, queueIdx)
+	ent := cache.lookup(key, hash)
 	cacheHit := ent != nil
 	if cacheHit {
 		s.m.cacheHits.Inc()
 	} else {
 		s.m.cacheMisses.Inc()
 		ent = s.encodeAndEmbed(queueIdx)
-		if sc := s.opts.Cache; sc != nil {
-			sc.store(sharedKey, sharedHash, ent)
-		} else {
-			s.cache.store(queueIdx, ent)
-		}
+		cache.store(key, hash, ent)
 	}
 	if s.trace.Enabled() {
 		ev := obs.EmbedEvent{
@@ -827,10 +877,14 @@ func interpretSample(embEnc *qubo.Encoding, sample anneal.Sample, numVars int) (
 	return embEnc.UnitEnergy(x), embEnc.AssignmentFromNodes(x, numVars)
 }
 
-// encodeAndEmbed runs the frontend pipeline for one clause queue: QUBO
-// encoding, fast embedding, restriction to the embedded clause set,
-// coefficient adjustment, normalisation, and programming onto the hardware
-// graph. Its output is immutable and memoised in the embedding cache; an
+// encodeAndEmbed runs the frontend pipeline for one clause queue. Template
+// fast path first: when the queue is template-eligible (1–3 distinct-var
+// literals per clause, var-disjoint across the queue, within tile capacity),
+// the whole queue instantiates onto the precomputed tile layout by renaming —
+// no embedding search, no restriction. Otherwise the paper's Fast embedder
+// runs (fully-working Chimera hardware only; other topologies, and chips with
+// broken qubits, degrade to CDCL for the
+// iteration). Output is immutable and memoised in the embedding cache; an
 // entry with embedded == 0 records an unusable queue (encode failure or no
 // embeddable clause) so repeats skip straight to CDCL.
 func (s *Solver) encodeAndEmbed(queueIdx []int) *embedCacheEntry {
@@ -843,7 +897,20 @@ func (s *Solver) encodeAndEmbed(queueIdx []int) *embedCacheEntry {
 		// Defensive: 3-CNF conversion guarantees encodable clauses.
 		return &embedCacheEntry{}
 	}
-	fastRes := embed.Fast(enc, s.opts.Hardware)
+	if ent := s.templateEmbed(queue, enc); ent != nil {
+		s.m.templateHits.Inc()
+		return ent
+	}
+	chim, ok := s.opts.Hardware.(*chimera.Graph)
+	if !ok || chim.NumWorking() != chim.NumQubits() {
+		// No Fast embedder for this topology — or the chip has hard faults,
+		// which Fast's routing assumes away (it would program couplings onto
+		// broken qubits). Only the broken-aware template path runs there;
+		// everything else skips QA for this queue.
+		return &embedCacheEntry{}
+	}
+	s.m.fastRuns.Inc()
+	fastRes := embed.Fast(enc, chim)
 	if fastRes.EmbeddedClauses == 0 {
 		return &embedCacheEntry{}
 	}
@@ -856,6 +923,53 @@ func (s *Solver) encodeAndEmbed(queueIdx []int) *embedCacheEntry {
 	ep := anneal.EmbedIsing(ising, fastRes.Embedding, s.opts.Hardware,
 		s.opts.ChainStrengthMult*anneal.ChainStrengthFor(ising))
 	return &embedCacheEntry{embEnc: embEnc, ep: ep, embedded: fastRes.EmbeddedClauses}
+}
+
+// maxTemplateBuilders bounds the per-shape builder memo; queues producing
+// more distinct shapes than this fall back to Fast rather than growing the
+// map without limit.
+const maxTemplateBuilders = 128
+
+// templateEmbed attempts the template fast path for an encoded queue. It
+// returns nil when the queue is ineligible (shape, capacity, or a
+// coefficient structure outside the template's edge support) — the caller
+// falls back to the Fast embedder.
+func (s *Solver) templateEmbed(queue []cnf.Clause, enc *qubo.Encoding) *embedCacheEntry {
+	if s.templates == nil {
+		return nil
+	}
+	shape, ok := s.shapeCheck.Shape(queue)
+	if !ok || len(shape) > s.templates.Capacity() {
+		return nil
+	}
+	shapeKey := make([]byte, len(shape))
+	for i, n := range shape {
+		shapeKey[i] = byte(n)
+	}
+	b, ok := s.builders[string(shapeKey)]
+	if !ok {
+		if len(s.builders) >= maxTemplateBuilders {
+			return nil
+		}
+		var err error
+		b, err = anneal.NewTemplateBuilder(s.templates, shape)
+		if err != nil {
+			return nil
+		}
+		s.builders[string(shapeKey)] = b
+	}
+	if s.opts.AdjustCoefficients {
+		enc.AdjustCoefficients()
+	}
+	norm, _ := enc.Poly.Normalized()
+	ising := norm.ToIsing()
+	// BuildNew, not Build: the entry outlives this call in the cache and may
+	// be sampled concurrently with later instantiations.
+	ep := b.BuildNew(ising, s.opts.ChainStrengthMult*anneal.ChainStrengthFor(ising))
+	if ep == nil {
+		return nil
+	}
+	return &embedCacheEntry{embEnc: enc, ep: ep, embedded: len(queue), viaTemplate: true}
 }
 
 // fullModel extends the QA assignment with the current trail and saved

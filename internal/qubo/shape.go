@@ -1,0 +1,106 @@
+package qubo
+
+import "hyqsat/internal/cnf"
+
+// This file pins down the *shape* of an encoding: for a template-eligible
+// clause queue, Encode's node numbering and quadratic-edge support are fully
+// determined by the sequence of clause lengths, independent of which
+// variables appear and with which polarity. That determinism is what lets the
+// embedding layer precompute one routed tile layout per shape and instantiate
+// it by renaming (internal/embed.TemplateSet, internal/anneal
+// TemplateBuilder). TestLayoutMatchesEncode locks the contract against
+// Encode itself.
+
+// ClauseNodes is the node numbering Encode assigns to one clause of a
+// template-eligible queue: the auxiliary node (or −1 when the clause is short
+// enough not to need one) and the node of each literal's variable in literal
+// order.
+type ClauseNodes struct {
+	Aux int
+	Lit [3]int // Lit[:len(clause)] valid
+}
+
+// LayoutForShape returns Encode's node numbering for a queue whose i-th
+// clause has shape[i] literals, assuming the queue is template-eligible
+// (every length in [1,3], distinct variables within a clause, no variable
+// shared between clauses — exactly what ShapeChecker.Shape accepts). For a
+// 3-literal clause the auxiliary node is allocated first, then the literal
+// nodes in order; shorter clauses allocate literal nodes only. The second
+// result is the total node count.
+func LayoutForShape(shape []int) ([]ClauseNodes, int) {
+	out := make([]ClauseNodes, len(shape))
+	next := 0
+	for i, n := range shape {
+		cn := ClauseNodes{Aux: -1}
+		if n == 3 {
+			cn.Aux = next
+			next++
+		}
+		for j := 0; j < n; j++ {
+			cn.Lit[j] = next
+			next++
+		}
+		out[i] = cn
+	}
+	return out, next
+}
+
+// EdgesForShape returns the quadratic-edge support of the encoding of a
+// template-eligible queue with the given shape, in a fixed deterministic
+// order. A 3-literal clause l1∨l2∨l3 with auxiliary a contributes exactly
+// {n1,n2}, {a,n1}, {a,n2}, {a,n3} (the c₁ = a↔(l1∨l2) and c₂ = l3∨a
+// sub-objectives of Eq. 4 — every one of these coefficients is non-zero for
+// every polarity combination); a 2-literal clause contributes {n1,n2}; a unit
+// clause contributes no edge.
+func EdgesForShape(shape []int) []Edge {
+	layout, _ := LayoutForShape(shape)
+	var out []Edge
+	for i, n := range shape {
+		cn := layout[i]
+		switch n {
+		case 2:
+			out = append(out, MkEdge(cn.Lit[0], cn.Lit[1]))
+		case 3:
+			out = append(out,
+				MkEdge(cn.Lit[0], cn.Lit[1]),
+				MkEdge(cn.Aux, cn.Lit[0]),
+				MkEdge(cn.Aux, cn.Lit[1]),
+				MkEdge(cn.Aux, cn.Lit[2]))
+		}
+	}
+	return out
+}
+
+// ShapeChecker classifies clause queues for the template embedding path. It
+// owns reusable scratch so steady-state checks allocate nothing.
+type ShapeChecker struct {
+	seen  map[cnf.Var]struct{}
+	shape []int
+}
+
+// NewShapeChecker returns a checker with empty scratch.
+func NewShapeChecker() *ShapeChecker {
+	return &ShapeChecker{seen: make(map[cnf.Var]struct{}, 64)}
+}
+
+// Shape reports whether the clause queue is template-eligible — every clause
+// has 1–3 literals over distinct variables and no variable appears in two
+// clauses of the queue — and returns the sequence of clause lengths. The
+// returned slice is scratch owned by the checker, valid until the next call.
+func (c *ShapeChecker) Shape(clauses []cnf.Clause) ([]int, bool) {
+	clear(c.seen)
+	c.shape = c.shape[:0]
+	for _, cl := range clauses {
+		if len(cl) < 1 || len(cl) > 3 {
+			return nil, false
+		}
+		for _, l := range cl {
+			if _, dup := c.seen[l.Var()]; dup {
+				return nil, false
+			}
+			c.seen[l.Var()] = struct{}{}
+		}
+		c.shape = append(c.shape, len(cl))
+	}
+	return c.shape, true
+}
