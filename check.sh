@@ -40,6 +40,23 @@ HYQSAT_PERF_GATE=1 go test -run=TestNopTracerKernelOverhead -count=1 -v ./intern
 # Trace round-trip smoke: record a real solve with -trace, then replay the
 # JSONL through the obs reader (exercised end-to-end by the CLI test).
 go test -run='TestCLITraceStreamReconstructsFigures|TestCLIFlightRecorder' -count=1 ./cmd/hyqsat
+# Tracereport round-trip gate: a CLI solve recorded with -trace must feed
+# tracereport a trace it can turn into a non-empty phase breakdown and a
+# QA-quality report. Binaries are built (not `go run`) so the solver's
+# SAT=10/UNSAT=20 exit convention survives; the portfolio -share acceptance
+# path (per-entrant attribution) is pinned by the cmd/tracereport tests.
+tracedir=$(mktemp -d)
+go build -o "$tracedir" ./cmd/hyqsat ./cmd/satgen ./cmd/tracereport
+"$tracedir/satgen" -random -vars 40 -clauses 168 -seed 5 > "$tracedir/inst.cnf"
+rc=0
+"$tracedir/hyqsat" -solver hyqsat -mode sim -trace "$tracedir/solve.jsonl" "$tracedir/inst.cnf" || rc=$?
+test "$rc" -eq 10 -o "$rc" -eq 20
+"$tracedir/tracereport" "$tracedir/solve.jsonl" > "$tracedir/report.txt"
+grep -q 'phases (total' "$tracedir/report.txt"
+grep -q 'quality: qacalls=' "$tracedir/report.txt"
+"$tracedir/tracereport" -json "$tracedir/solve.jsonl" > "$tracedir/report.json"
+rm -rf "$tracedir"
+go test -count=1 ./cmd/tracereport
 # CDCL arena gates: steady-state propagation and conflict analysis must stay
 # allocation-free, reduceDB must leave no dead cref behind, and the randomized
 # certification corpus (model-checked SAT, DRAT-checked UNSAT, config

@@ -163,8 +163,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		ring = obs.NewRing(*flightN)
 		sinks = append(sinks, ring)
 	}
-	tracer := obs.Tee(sinks...)
 	reg := obs.NewRegistry()
+	// The quality tracker rides the same event stream as the sinks: it
+	// aggregates chain-break rates, energy gaps and strategy payoff live,
+	// mirrored into the registry for /metrics and summarised on
+	// /solve/status and in -stats.
+	var quality *obs.QualityTracker
+	if len(sinks) > 0 || *metricsAddr != "" {
+		quality = obs.NewQualityTracker(reg)
+		sinks = append(sinks, quality)
+	}
+	tracer := obs.Tee(sinks...)
+	if tracer.Enabled() {
+		// One solve id for the whole invocation: scoped nearest the sinks,
+		// it wins over any inner attribution (race ids, solver sources), so
+		// every event of this run shares one "solve" value while the inner
+		// source names (entrants, cube workers, the QPU layer) survive.
+		tracer = obs.WithSource(tracer, obs.Source{Solve: obs.NextSolveID()})
+	}
 	var statusVar obs.StatusVar
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.Handler(reg, ring, &statusVar))
@@ -172,6 +188,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer srv.Close()
+		stopSampler := obs.StartRuntimeSampler(reg, 0)
+		defer stopSampler()
 		fmt.Fprintf(stderr, "c metrics listening on http://%s\n", srv.Addr)
 	}
 	dumpFlight := func(why string) {
@@ -219,10 +237,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		qpuTrace := obs.WithSource(tracer, obs.Source{Name: "qpu"})
 		wrapBackend = func(b qpu.Backend) qpu.Backend {
 			fi := qpu.NewFaultInjector(b, prof, *seed)
-			fi.Trace = tracer
-			return qpu.NewResilient(fi, qpu.Config{Seed: *seed, Trace: tracer, Metrics: reg})
+			fi.Trace = qpuTrace
+			return qpu.NewResilient(fi, qpu.Config{Seed: *seed, Trace: qpuTrace, Metrics: reg})
 		}
 	}
 
@@ -329,6 +348,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 						out.Share.Exported, out.Share.Imported, out.Share.Filtered,
 						out.Share.Duplicates, out.Share.Dropped)
 				}
+				printQuality(stdout, quality)
 			}
 		}
 	} else {
@@ -341,7 +361,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			opts.Seed = *seed
 			opts.MaxConflicts = *maxConflicts
 			s := sat.New(formula, opts)
-			s.SetTracer(tracer)
+			s.SetTracer(obs.WithSource(tracer, obs.Source{Name: *solver}))
 			iters := reg.Gauge("cdcl_iterations")
 			s.SetMetrics(sat.Metrics{
 				ConflictDepth: reg.Histogram("cdcl_conflict_depth", obs.ExpBuckets(1, 2, 10)),
@@ -387,7 +407,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			opts.CDCL.MaxConflicts = *maxConflicts
 			opts.WrapBackend = wrapBackend
 			h := hyqsat.New(formula, opts)
-			statusVar.Set(h.LiveStatus)
+			statusVar.Set(func() map[string]any {
+				st := h.LiveStatus()
+				if quality != nil {
+					st["quality"] = quality.StatusMap()
+				}
+				return st
+			})
 			r := h.SolveContext(ctx)
 			if r.Err != nil {
 				fmt.Fprintln(stderr, "c interrupted:", r.Err)
@@ -404,6 +430,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 			if *stats {
 				printHybridStats(stdout, r.Stats)
+				printQuality(stdout, quality)
 			}
 		case "portfolio":
 			ro := portfolio.RaceOptions{Certify: *verifyFlag, Trace: tracer, Metrics: reg}
@@ -432,6 +459,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 							out.Share.Exported, out.Share.Imported, out.Share.Filtered,
 							out.Share.Duplicates, out.Share.Dropped)
 					}
+					printQuality(stdout, quality)
 				}
 			}
 		default:
@@ -532,6 +560,20 @@ func printHybridStats(w io.Writer, st hyqsat.Stats) {
 	row("qa-device", st.QADevice, "  (modelled)")
 	row("backend", st.Backend, "")
 	row("cdcl", st.CDCL, "")
+}
+
+// printQuality renders the QA-quality summary line when the live quality
+// tracker was wired (any telemetry flag set) and saw QA traffic.
+func printQuality(w io.Writer, quality *obs.QualityTracker) {
+	if quality == nil {
+		return
+	}
+	q := quality.Snapshot()
+	if q.QACalls == 0 {
+		return
+	}
+	fmt.Fprintf(w, "c quality qacalls=%d chainbreakrate=%.4f gapmean=%.3f degrades=%d payoff=%.3f/us\n",
+		q.QACalls, q.ChainBreakRate, q.EnergyGap.Mean, q.Degrades, q.PayoffPerDeviceUs)
 }
 
 // proofSinkOrNil / recorderOrNil avoid the non-nil interface around a nil

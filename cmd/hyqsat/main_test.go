@@ -270,8 +270,17 @@ func TestCLIMetricsAddrServesLiveEndpoints(t *testing.T) {
 			if !ok {
 				continue
 			}
+			// The solver registers its counters shortly after the server
+			// starts listening, so both scrapes retry briefly: metrics until
+			// the solver counters appear, status until the solve is live.
 			var s scrape
-			s.metrics, s.err = httpGet(addr + "/metrics")
+			for i := 0; i < 100; i++ {
+				s.metrics, s.err = httpGet(addr + "/metrics")
+				if s.err != nil || strings.Contains(s.metrics, "hyqsat_qa_calls") {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
 			for i := 0; i < 100 && s.err == nil; i++ {
 				s.status, s.err = httpGet(addr + "/solve/status")
 				if strings.Contains(s.status, `"state":"solving"`) {

@@ -91,6 +91,11 @@ type EmbeddedProblem struct {
 	maxAbs     float64 // max |coefficient| over H and couplers
 	chainNodes []int   // logical nodes, sorted
 	chainIx    [][]int // chain qubit-index lists, aligned with chainNodes
+
+	// Chain shape, precomputed for the QA-quality telemetry (chain length
+	// drives annealer error, so break rates are bucketed by it).
+	maxChainLen int // longest chain, in qubits
+	chainQubits int // total qubits held in chains
 }
 
 type coupling struct {
@@ -263,8 +268,13 @@ func (ep *EmbeddedProblem) finalize(adj [][]coupling) {
 	}
 	sort.Ints(ep.chainNodes)
 	ep.chainIx = make([][]int, len(ep.chainNodes))
+	ep.maxChainLen, ep.chainQubits = 0, 0
 	for i, node := range ep.chainNodes {
 		ep.chainIx[i] = ep.chains[node]
+		ep.chainQubits += len(ep.chainIx[i])
+		if len(ep.chainIx[i]) > ep.maxChainLen {
+			ep.maxChainLen = len(ep.chainIx[i])
+		}
 	}
 }
 

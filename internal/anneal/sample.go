@@ -159,6 +159,8 @@ func (s *Sampler) Sample(ep *EmbeddedProblem, numReads int) ReadSet {
 			Energies:     energies,
 			BrokenChains: broken,
 			Chains:       len(ep.chainNodes),
+			MaxChainLen:  ep.maxChainLen,
+			ChainQubits:  ep.chainQubits,
 			Best:         best,
 			DeviceNs:     s.Timing.AccessTime(numReads).Nanoseconds(),
 		})

@@ -134,6 +134,13 @@ type Options struct {
 	// Implementations must be safe for concurrent use. Nil disables tracing
 	// with zero overhead beyond a branch per emission site.
 	Trace obs.Tracer
+	// SolveID attributes every traced event of this solver to one logical
+	// solve (the "solve" field of the JSONL envelope). Empty allocates a
+	// fresh process-unique id via obs.NextSolveID. Callers running several
+	// solvers inside one logical solve — the portfolio race, cube-and-conquer
+	// — pass a shared id (or pre-scope Trace with obs.WithSource, whose
+	// outer attribution wins over the solver's own).
+	SolveID string
 	// Metrics, when non-nil, is the registry the solver registers its
 	// counters, gauges and histograms in (so several components can share
 	// one registry behind one /metrics endpoint). Nil creates a private
@@ -416,6 +423,16 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	s.trace = opts.Trace
 	if s.trace == nil {
 		s.trace = obs.Nop()
+	}
+	if s.trace.Enabled() {
+		// Attribute the solver's event stream. When the caller pre-scoped
+		// the tracer (portfolio entrant, cube worker), the outer attribution
+		// wins and this inner source only fills fields left empty.
+		id := opts.SolveID
+		if id == "" {
+			id = obs.NextSolveID()
+		}
+		s.trace = obs.WithSource(s.trace, obs.Source{Solve: id, Name: "hyqsat"})
 	}
 	s.m = newSolverMetrics(s.reg)
 	// Surface the private cache's hit/miss/eviction counters on the solver

@@ -24,6 +24,27 @@ type Event interface {
 	Kind() string
 }
 
+// TraceSchemaVersion is the schema version stamped into the header record of
+// every JSONL trace. Bump it when the envelope or an event payload changes
+// incompatibly.
+const TraceSchemaVersion = 1
+
+// headerKind is the envelope type tag of the header record.
+const headerKind = "header"
+
+// HeaderEvent is the first record of a JSONL trace: the schema version and
+// the wall-clock time (microseconds since the Unix epoch) corresponding to
+// envelope timestamp 0. Event timestamps stay monotonic and sink-relative;
+// the header is what lets offline tooling align or merge traces recorded by
+// different processes.
+type HeaderEvent struct {
+	Schema  int   `json:"schema"`
+	StartUs int64 `json:"start_us"`
+}
+
+// Kind implements Event.
+func (HeaderEvent) Kind() string { return headerKind }
+
 // ConflictEvent records one CDCL conflict: the running conflict count, the
 // decision level the conflict occurred at (conflict depth), the learnt
 // clause's length and LBD, and the backjump target level. A root-level
@@ -50,8 +71,9 @@ func (RestartEvent) Kind() string { return "restart" }
 
 // QACallEvent records one multi-read device access: per-read hardware
 // energies and chain-break counts (the diagnostic signals of annealer-backed
-// solving), the chain count of the embedded problem (so chain-break
-// fractions are reconstructible), the best-energy read index, and the
+// solving), the chain shape of the embedded problem (count, longest chain,
+// total chained qubits — chain length drives annealer error, so quality
+// analytics bucket break rates by it), the best-energy read index, and the
 // modelled device time charged for the access.
 type QACallEvent struct {
 	Call         int64     `json:"call"`
@@ -59,6 +81,8 @@ type QACallEvent struct {
 	Energies     []float64 `json:"energies"`
 	BrokenChains []int     `json:"broken_chains"`
 	Chains       int       `json:"chains"`
+	MaxChainLen  int       `json:"max_chain_len,omitempty"`
+	ChainQubits  int       `json:"chain_qubits,omitempty"`
 	Best         int       `json:"best"`
 	DeviceNs     int64     `json:"device_ns"`
 }

@@ -11,13 +11,26 @@ import (
 // ReadJSONL decodes a JSONL event stream (as written by JSONLSink or
 // Ring.Dump) back into stamped, concretely-typed events. Events with an
 // unknown type tag are skipped — a newer trace stays readable by an older
-// reader — but malformed lines are errors.
+// reader — but malformed lines are errors. Header records are consumed
+// silently; use ReadTrace to get the header too.
 func ReadJSONL(r io.Reader) ([]Stamped, error) {
+	_, events, err := ReadTrace(r)
+	return events, err
+}
+
+// ReadTrace decodes a JSONL event stream like ReadJSONL and additionally
+// returns the trace header. Legacy header-less traces decode fine: the
+// returned header is the zero HeaderEvent (Schema 0), which callers can use
+// to detect that no alignment information is available.
+func ReadTrace(r io.Reader) (HeaderEvent, []Stamped, error) {
 	type rawStamped struct {
-		T  string          `json:"t"`
-		TS int64           `json:"ts"`
-		E  json.RawMessage `json:"e"`
+		T     string          `json:"t"`
+		TS    int64           `json:"ts"`
+		Solve string          `json:"solve"`
+		Src   string          `json:"src"`
+		E     json.RawMessage `json:"e"`
 	}
+	var header HeaderEvent
 	var out []Stamped
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -30,21 +43,31 @@ func ReadJSONL(r io.Reader) ([]Stamped, error) {
 		}
 		var raw rawStamped
 		if err := json.Unmarshal(text, &raw); err != nil {
-			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return header, out, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if raw.T == headerKind {
+			var h HeaderEvent
+			if err := json.Unmarshal(raw.E, &h); err != nil {
+				return header, out, fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			if header == (HeaderEvent{}) {
+				header = h
+			}
+			continue
 		}
 		ev, err := decodeEvent(raw.T, raw.E)
 		if err != nil {
-			return out, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return header, out, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
 		if ev == nil {
 			continue // unknown kind
 		}
-		out = append(out, Stamped{T: raw.T, TS: raw.TS, E: ev})
+		out = append(out, Stamped{T: raw.T, TS: raw.TS, Solve: raw.Solve, Src: raw.Src, E: ev})
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("obs: reading trace: %w", err)
+		return header, out, fmt.Errorf("obs: reading trace: %w", err)
 	}
-	return out, nil
+	return header, out, nil
 }
 
 // decodeEvent maps a type tag back to its concrete event type. Unknown tags
@@ -90,6 +113,12 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case "degrade":
 		e, err := unmarshal(&DegradeEvent{})
 		return deref(e, err)
+	case "share":
+		e, err := unmarshal(&ShareEvent{})
+		return deref(e, err)
+	case "cube":
+		e, err := unmarshal(&CubeEvent{})
+		return deref(e, err)
 	}
 	return nil, nil
 }
@@ -122,6 +151,10 @@ func deref(e Event, err error) (Event, error) {
 	case *QPUFaultEvent:
 		return *v, nil
 	case *DegradeEvent:
+		return *v, nil
+	case *ShareEvent:
+		return *v, nil
+	case *CubeEvent:
 		return *v, nil
 	}
 	return e, nil

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// StartRuntimeSampler feeds Go runtime health into the registry at the given
+// interval (default 1s when interval ≤ 0): heap usage, GC cycle count and a
+// histogram of GC pause durations (microseconds), and the goroutine count.
+// It returns a stop function that halts the sampler and waits for its
+// goroutine to exit, so tests can assert no leak after shutdown.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	heapAlloc := reg.Gauge("runtime_heap_alloc_bytes")
+	heapObjects := reg.Gauge("runtime_heap_objects")
+	goroutines := reg.Gauge("runtime_goroutines")
+	gcCycles := reg.Counter("runtime_gc_cycles_total")
+	gcPauseUs := reg.Histogram("runtime_gc_pause_us", ExpBuckets(10, 4, 8))
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var lastGC uint32
+		sample := func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			heapAlloc.Set(int64(ms.HeapAlloc))
+			heapObjects.Set(int64(ms.HeapObjects))
+			goroutines.Set(int64(runtime.NumGoroutine()))
+			// PauseNs is a circular buffer indexed by GC cycle; replay the
+			// pauses of the cycles completed since the previous sample.
+			newGCs := ms.NumGC - lastGC
+			if newGCs > uint32(len(ms.PauseNs)) {
+				newGCs = uint32(len(ms.PauseNs))
+			}
+			for i := uint32(0); i < newGCs; i++ {
+				cycle := ms.NumGC - i
+				pause := ms.PauseNs[(cycle+255)%256]
+				gcPauseUs.Observe(float64(pause) / 1000)
+			}
+			gcCycles.Add(int64(ms.NumGC - lastGC))
+			lastGC = ms.NumGC
+		}
+		sample()
+		for {
+			select {
+			case <-done:
+				sample() // final sample so short-lived solves still report
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := NewRegistry()
+	before := runtime.NumGoroutine()
+	stop := StartRuntimeSampler(reg, 10*time.Millisecond)
+	runtime.GC() // guarantee at least one GC cycle lands in the window
+	time.Sleep(30 * time.Millisecond)
+	stop()
+
+	snap := reg.Snapshot()
+	if snap.Gauges["runtime_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("heap gauge not populated: %+v", snap.Gauges)
+	}
+	if snap.Gauges["runtime_goroutines"] <= 0 {
+		t.Fatalf("goroutine gauge not populated: %+v", snap.Gauges)
+	}
+	if snap.Counters["runtime_gc_cycles_total"] < 1 {
+		t.Fatalf("gc cycle counter = %d, want ≥1 after runtime.GC",
+			snap.Counters["runtime_gc_cycles_total"])
+	}
+	if h := snap.Histograms["runtime_gc_pause_us"]; h.Count < 1 {
+		t.Fatalf("gc pause histogram empty: %+v", h)
+	}
+
+	// stop() waits for the sampler goroutine: no leak.
+	deadline := time.Now().Add(time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("sampler leaked goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestRuntimeSamplerNilRegistry(t *testing.T) {
+	stop := StartRuntimeSampler(nil, time.Millisecond)
+	stop() // must be a safe no-op
+}

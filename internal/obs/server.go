@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,10 +60,11 @@ func publishExpvar(reg *Registry) {
 
 // Handler returns the live-introspection mux:
 //
-//	/metrics       the registry in Prometheus text format
-//	/debug/vars    expvar (cmdline, memstats, and the registry under "hyqsat")
-//	/solve/status  JSON snapshot of the in-flight solve (status provider)
-//	/trace/flight  the flight-recorder ring as JSONL (404 without a ring)
+//	/metrics        the registry in Prometheus text format (503 without one)
+//	/debug/vars     expvar (cmdline, memstats, and the registry under "hyqsat")
+//	/debug/pprof/*  the net/http/pprof profile endpoints
+//	/solve/status   JSON snapshot of the in-flight solve (status provider)
+//	/trace/flight   the flight-recorder ring as JSONL (404 without a ring)
 //
 // Any argument may be nil; the corresponding endpoint degrades gracefully.
 func Handler(reg *Registry, ring *Ring, status *StatusVar) http.Handler {
@@ -70,13 +73,21 @@ func Handler(reg *Registry, ring *Ring, status *StatusVar) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if reg == nil {
+			// Distinguish "metrics not wired" from "no data yet": scrapers
+			// treat an empty 200 as a healthy target with zero series.
+			http.Error(w, "metrics registry not configured", http.StatusServiceUnavailable)
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.Snapshot().WriteText(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/solve/status", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(status.get())
@@ -112,5 +123,17 @@ func Serve(addr string, h http.Handler) (*Server, error) {
 	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server gracefully: the listener closes immediately (no new
+// connections) but in-flight requests — a /metrics scrape mid-write, a
+// /trace/flight dump — get up to a second to finish before the remaining
+// connections are cut.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Deadline hit with requests still running: fall back to the hard
+		// close so Close never leaves the port bound.
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -2,11 +2,15 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -92,6 +96,27 @@ func TestHandlerExpvar(t *testing.T) {
 	}
 }
 
+// TestHandlerMetricsWithoutRegistry: a scraper must see an explicit 503, not
+// an empty 200 that reads as a healthy target with zero series.
+func TestHandlerMetricsWithoutRegistry(t *testing.T) {
+	h := Handler(nil, nil, nil)
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("metrics without registry: code=%d body=%q, want 503", code, body)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	h := Handler(NewRegistry(), nil, nil)
+	code, body := get(t, h, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code=%d", code)
+	}
+	if code, _ := get(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: code=%d", code)
+	}
+}
+
 func TestServeAndClose(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("up").Inc()
@@ -108,5 +133,95 @@ func TestServeAndClose(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 || !strings.Contains(string(body), "up 1") {
 		t.Fatalf("code=%d body=%q", resp.StatusCode, body)
+	}
+}
+
+// TestCloseLeavesNoGoroutines: Close drains in-flight requests and stops the
+// serving goroutine — the goroutine count must come back down.
+func TestCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil, nil))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked after Close: %d -> %d", before, after)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting connections after Close")
+	}
+}
+
+// TestConcurrentEmitAndScrape hammers the flight recorder and a JSONL sink
+// from several goroutines while /trace/flight and /metrics are scraped. Run
+// under -race this is the data-race gate for the tracing plane.
+func TestConcurrentEmitAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	quality := NewQualityTracker(reg)
+	ring := NewRing(64)
+	sink := NewJSONLSink(io.Discard)
+	tee := WithSource(Tee(ring, sink, quality), Source{Solve: "s1"})
+
+	srv, err := Serve("127.0.0.1:0", Handler(reg, ring, nil))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scoped := WithSource(tee, Source{Name: fmt.Sprintf("w%d", g)})
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scoped.Emit(ConflictEvent{Conflicts: i})
+				scoped.Emit(RestartEvent{Restarts: i})
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/trace/flight", "/metrics"} {
+			resp, err := http.Get("http://" + srv.Addr + path)
+			if err != nil {
+				t.Fatalf("scrape %s: %v", path, err)
+			}
+			if path == "/trace/flight" {
+				if _, err := ReadJSONL(resp.Body); err != nil {
+					t.Fatalf("flight dump not parseable mid-emit: %v", err)
+				}
+			} else {
+				io.Copy(io.Discard, resp.Body)
+			}
+			resp.Body.Close()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if ring.Total() == 0 {
+		t.Fatal("no events recorded")
 	}
 }

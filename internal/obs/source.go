@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// Source attributes an event stream: which solve it belongs to and which
+// emitter produced it. Concurrent emitters (portfolio entrants, cube workers,
+// the QPU retry layer) share one sink; the source is what lets a reader
+// demultiplex their interleaved events back into per-emitter streams.
+//
+// Both fields are plain strings carried in the Stamped envelope ("solve" and
+// "src"); empty fields are omitted from the JSONL output, so unattributed
+// traces look exactly like pre-attribution ones.
+type Source struct {
+	// Solve identifies one logical solve (one CLI invocation, one portfolio
+	// race, one cube-and-conquer run). Allocate with NextSolveID.
+	Solve string
+	// Name identifies the emitter within the solve: "hyqsat", a portfolio
+	// entrant name ("minisat/s1"), a cube worker ("cube/w3"), the QPU access
+	// layer ("qpu"), ...
+	Name string
+}
+
+// solveCounter backs NextSolveID.
+var solveCounter atomic.Int64
+
+// NextSolveID returns a fresh process-unique solve identifier ("s1", "s2",
+// ...). Traces from different processes are told apart by the header
+// record's wall-clock start, not by the solve id.
+func NextSolveID() string {
+	return "s" + strconv.FormatInt(solveCounter.Add(1), 10)
+}
+
+// sourceCarrier is the optional sink capability behind zero-alloc
+// attribution: a tracer that can accept the source alongside the event.
+// JSONLSink, Ring, Tee compositions, scoped tracers and the QualityTracker
+// all implement it; WithSource detects it once at construction, so scoped
+// emission is a direct call with the source passed by value — no wrapper
+// event, no per-event allocation.
+type sourceCarrier interface {
+	EmitFrom(src Source, e Event)
+}
+
+// WithSource returns a tracer that attributes every event emitted through it
+// to src before forwarding to t. When t is nil or disabled, WithSource
+// returns the Nop tracer, so scoping keeps the disabled path allocation-free.
+//
+// Scopes nest, and the outer scope wins: a field set by an enclosing
+// WithSource (closer to the sink) overrides the same field set by an inner
+// one, while unset fields are filled from the inner scope. A portfolio race
+// that scopes each entrant's tracer with {Solve: raceID, Name: entrant}
+// therefore overrides the per-solver "hyqsat" source the hybrid installs on
+// itself, and a bare CLI solve keeps the solver's own attribution.
+func WithSource(t Tracer, src Source) Tracer {
+	if t == nil || !t.Enabled() {
+		return Nop()
+	}
+	st := &scopedTracer{inner: t, src: src}
+	st.carrier, _ = t.(sourceCarrier)
+	return st
+}
+
+// scopedTracer forwards events with its source attached. It implements
+// sourceCarrier itself so scopes nest.
+type scopedTracer struct {
+	inner   Tracer
+	carrier sourceCarrier // inner as a carrier, or nil
+	src     Source
+}
+
+// Enabled implements Tracer: a scoped tracer is only constructed around an
+// enabled inner tracer.
+func (s *scopedTracer) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (s *scopedTracer) Emit(e Event) {
+	if s.carrier != nil {
+		s.carrier.EmitFrom(s.src, e)
+		return
+	}
+	s.inner.Emit(e)
+}
+
+// EmitFrom implements sourceCarrier: src comes from an inner (closer to the
+// emitter) scope, so this scope's fields take precedence and the inner ones
+// fill the blanks.
+func (s *scopedTracer) EmitFrom(src Source, e Event) {
+	merged := s.src
+	if merged.Solve == "" {
+		merged.Solve = src.Solve
+	}
+	if merged.Name == "" {
+		merged.Name = src.Name
+	}
+	if s.carrier != nil {
+		s.carrier.EmitFrom(merged, e)
+		return
+	}
+	s.inner.Emit(e)
+}
+
+// EmitFrom implements sourceCarrier for Tee compositions: the source reaches
+// every member that can carry it; members that cannot still get the event.
+func (m multiTracer) EmitFrom(src Source, e Event) {
+	for _, t := range m {
+		if c, ok := t.(sourceCarrier); ok {
+			c.EmitFrom(src, e)
+		} else {
+			t.Emit(e)
+		}
+	}
+}

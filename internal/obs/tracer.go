@@ -65,15 +65,27 @@ func (m multiTracer) Emit(e Event) {
 }
 
 // Stamped is the JSONL envelope of one event: the type tag, a monotonic
-// timestamp (nanoseconds since the sink was created), and the event payload.
+// timestamp (nanoseconds since the sink was created), the attribution fields
+// (empty and omitted for unattributed events — see Source and WithSource),
+// and the event payload.
 type Stamped struct {
-	T  string `json:"t"`
-	TS int64  `json:"ts"`
-	E  Event  `json:"e"`
+	T     string `json:"t"`
+	TS    int64  `json:"ts"`
+	Solve string `json:"solve,omitempty"`
+	Src   string `json:"src,omitempty"`
+	E     Event  `json:"e"`
 }
+
+// Source returns the attribution of the envelope as a Source value.
+func (s Stamped) Source() Source { return Source{Solve: s.Solve, Name: s.Src} }
 
 // JSONLSink writes one JSON object per event to an io.Writer, buffered.
 // Safe for concurrent use. Call Flush (or Close) before reading the output.
+//
+// The first record of the stream is a HeaderEvent carrying the trace schema
+// version and the wall-clock time the sink was created, so offline tooling
+// can align traces recorded by different processes. ReadJSONL tolerates
+// streams without the header (traces recorded before it existed).
 type JSONLSink struct {
 	mu    sync.Mutex
 	w     *bufio.Writer
@@ -82,10 +94,16 @@ type JSONLSink struct {
 	err   error
 }
 
-// NewJSONLSink returns a sink writing the JSONL event stream to w.
+// NewJSONLSink returns a sink writing the JSONL event stream to w, starting
+// with the schema header record.
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	bw := bufio.NewWriter(w)
-	return &JSONLSink{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	s.err = s.enc.Encode(Stamped{T: headerKind, TS: 0, E: HeaderEvent{
+		Schema:  TraceSchemaVersion,
+		StartUs: s.start.UnixMicro(),
+	}})
+	return s
 }
 
 // Enabled implements Tracer.
@@ -93,12 +111,27 @@ func (s *JSONLSink) Enabled() bool { return true }
 
 // Emit implements Tracer.
 func (s *JSONLSink) Emit(e Event) {
+	s.emit(Source{}, e)
+}
+
+// EmitFrom implements sourceCarrier.
+func (s *JSONLSink) EmitFrom(src Source, e Event) {
+	s.emit(src, e)
+}
+
+func (s *JSONLSink) emit(src Source, e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
-	s.err = s.enc.Encode(Stamped{T: e.Kind(), TS: time.Since(s.start).Nanoseconds(), E: e})
+	s.err = s.enc.Encode(Stamped{
+		T:     e.Kind(),
+		TS:    time.Since(s.start).Nanoseconds(),
+		Solve: src.Solve,
+		Src:   src.Name,
+		E:     e,
+	})
 }
 
 // Flush drains the buffer and returns the first error the sink hit.
@@ -136,8 +169,23 @@ func (r *Ring) Enabled() bool { return true }
 
 // Emit implements Tracer.
 func (r *Ring) Emit(e Event) {
+	r.emit(Source{}, e)
+}
+
+// EmitFrom implements sourceCarrier.
+func (r *Ring) EmitFrom(src Source, e Event) {
+	r.emit(src, e)
+}
+
+func (r *Ring) emit(src Source, e Event) {
 	r.mu.Lock()
-	r.buf[r.next] = Stamped{T: e.Kind(), TS: time.Since(r.start).Nanoseconds(), E: e}
+	r.buf[r.next] = Stamped{
+		T:     e.Kind(),
+		TS:    time.Since(r.start).Nanoseconds(),
+		Solve: src.Solve,
+		Src:   src.Name,
+		E:     e,
+	}
 	r.next++
 	r.total++
 	if r.next == len(r.buf) {

@@ -13,13 +13,20 @@ var allKinds = []Event{
 	ConflictEvent{Conflicts: 7, Level: 3, LearntLen: 2, LBD: 2, Backjump: 1},
 	RestartEvent{Restarts: 1, Conflicts: 50},
 	QACallEvent{Call: 4, Reads: 3, Energies: []float64{0, 1.5, 4.5},
-		BrokenChains: []int{0, 1, 0}, Chains: 9, Best: 0, DeviceNs: 131000},
+		BrokenChains: []int{0, 1, 0}, Chains: 9, MaxChainLen: 4, ChainQubits: 21,
+		Best: 0, DeviceNs: 131000},
 	EmbedEvent{Iteration: 2, QueueLen: 12, Embedded: 10, CacheHit: true,
 		ActiveQubits: 40, HardwareQubits: 2048},
 	StrategyHitEvent{Iteration: 2, Class: "satisfiable", Strategy: 1,
 		Energy: 0, AllEmbedded: true},
 	PhaseSpan{Phase: "frontend", StartNs: 100, EndNs: 350},
 	PortfolioEvent{Entrant: "minisat/s1", Status: "window", Budget: 20000},
+	BreakerEvent{Backend: "local", From: "closed", To: "open", Failures: 3},
+	QPURetryEvent{Call: 9, Attempt: 2, BackoffNs: 1000, Err: "timeout"},
+	QPUFaultEvent{Call: 9, Fault: "transient"},
+	DegradeEvent{Iteration: 5, Err: "breaker open"},
+	ShareEvent{Exported: 10, Imported: 4, Filtered: 2, Duplicates: 1, Dropped: 3},
+	CubeEvent{Cube: 3, Worker: 1, Status: "refuted", Conflicts: 1234},
 }
 
 func TestJSONLRoundTrip(t *testing.T) {

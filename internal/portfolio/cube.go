@@ -179,6 +179,14 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 	if trace == nil {
 		trace = obs.Nop()
 	}
+	// One solve id covers the whole cube run; workers trace under their own
+	// source ("cube/w3"), run-level events under "cube", so concurrent worker
+	// streams demultiplex offline.
+	var runID string
+	if trace.Enabled() {
+		runID = obs.NextSolveID()
+	}
+	runTrace := obs.WithSource(trace, obs.Source{Solve: runID, Name: "cube"})
 	start := time.Now()
 
 	var stitch *verify.SharedRecorder
@@ -252,6 +260,7 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 	}
 
 	solvers := make([]*sat.Solver, o.Workers)
+	workerTrace := make([]obs.Tracer, o.Workers)
 	for w := range solvers {
 		so := sat.MiniSATOptions()
 		so.Seed = o.Seed + int64(w) + 1
@@ -261,6 +270,10 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 		}
 		if bus != nil {
 			solvers[w].SetExchange(bus.NewPeer(fmt.Sprintf("cube-w%d", w)))
+		}
+		workerTrace[w] = obs.WithSource(trace, obs.Source{Solve: runID, Name: fmt.Sprintf("cube/w%d", w)})
+		if workerTrace[w].Enabled() {
+			solvers[w].SetTracer(workerTrace[w])
 		}
 	}
 	// Reclaim losing workers the moment the race is decided: without the
@@ -281,13 +294,14 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 		go func() {
 			defer wg.Done()
 			solver := solvers[w]
+			wt := workerTrace[w]
 			defer func() {
 				// The worker's whole incremental run counts once.
 				agg.add(RunOutput{Result: sat.Result{Stats: solver.Stats()}})
 			}()
 			emit := func(ci int, status string, conflicts int64) {
-				if trace.Enabled() {
-					trace.Emit(obs.CubeEvent{Cube: ci, Worker: w, Status: status, Conflicts: conflicts})
+				if wt.Enabled() {
+					wt.Emit(obs.CubeEvent{Cube: ci, Worker: w, Status: status, Conflicts: conflicts})
 				}
 			}
 			for ci := range work {
@@ -299,7 +313,7 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 				cube := cubes[ci]
 				startConf := solver.Stats().Conflicts
 				if cache != nil {
-					model, qaReads, qaCalls := cubeWarmup(ctx, f, cube, o, cache, solver)
+					model, qaReads, qaCalls := cubeWarmup(ctx, f, cube, o, cache, solver, wt)
 					agg.add(RunOutput{QAReads: qaReads, QACalls: qaCalls})
 					if model != nil {
 						mu.Lock()
@@ -378,8 +392,8 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 		out.Aggregate = agg.snapshot()
 		if bus != nil {
 			out.Share = bus.Stats()
-			if trace.Enabled() {
-				trace.Emit(obs.ShareEvent{
+			if runTrace.Enabled() {
+				runTrace.Emit(obs.ShareEvent{
 					Exported:   out.Share.Exported,
 					Imported:   out.Share.Imported,
 					Filtered:   out.Share.Filtered,
@@ -446,7 +460,7 @@ func SolveCubes(ctx context.Context, f *cnf.Formula, o CubeOptions) (CubeOutcome
 // formula's 3-CNF form, which the stitched proof cannot absorb, so the CDCL
 // worker re-derives the refutation certifiably.
 func cubeWarmup(ctx context.Context, f *cnf.Formula, cube Cube, o CubeOptions,
-	cache *hyqsat.SharedEmbedCache, solver *sat.Solver) (model []bool, qaReads, qaCalls int64) {
+	cache *hyqsat.SharedEmbedCache, solver *sat.Solver, trace obs.Tracer) (model []bool, qaReads, qaCalls int64) {
 	g := f.Copy()
 	for _, l := range cube {
 		g.AddClause(cnf.Clause{l})
@@ -457,6 +471,7 @@ func cubeWarmup(ctx context.Context, f *cnf.Formula, cube Cube, o CubeOptions,
 	ho.CDCL.MaxConflicts = o.WarmupConflicts
 	ho.Cache = cache
 	ho.WrapBackend = o.WrapBackend
+	ho.Trace = trace
 	h := hyqsat.New(g, ho)
 	r := h.SolveContext(ctx)
 	qaReads, qaCalls = r.Stats.QAReads, int64(r.Stats.QACalls)

@@ -48,6 +48,11 @@ type RunInput struct {
 	Certify     bool
 	Exchange    sat.ClauseExchange
 	SharedProof sat.ProofWriter
+	// Trace, when non-nil, is the entrant's pre-attributed tracer: the race
+	// scopes it per entrant (solve id + entrant name), so the solver events
+	// of concurrent entrants demultiplex in the recorded stream. Entrants
+	// wire it into their solvers.
+	Trace obs.Tracer
 }
 
 // RunOutput is the window's outcome. Cert carries a private certificate
@@ -107,6 +112,9 @@ func cdclEntrant(name string, mk func(*cnf.Formula, int64) (*sat.Solver, *cnf.Fo
 			// Stop mid-window when the race is decided instead of grinding
 			// out the rest of the conflict budget.
 			defer context.AfterFunc(ctx, s.Interrupt)()
+			if in.Trace != nil && in.Trace.Enabled() {
+				s.SetTracer(in.Trace)
+			}
 			if in.Exchange != nil {
 				s.SetExchange(in.Exchange)
 			}
@@ -152,6 +160,7 @@ func HyQSATEntrantBackend(seed int64, wrap func(qpu.Backend) qpu.Backend) Entran
 			o.Seed = seed
 			o.CDCL.MaxConflicts = in.Budget
 			o.WrapBackend = wrap
+			o.Trace = in.Trace
 			h := hyqsat.New(in.Formula, o)
 			// Interrupt the embedded CDCL core on cancellation so the hybrid
 			// loop reaches its own context check promptly.
@@ -336,6 +345,15 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions
 	if len(entrants) == 0 {
 		return Outcome{}, fmt.Errorf("portfolio: no entrants")
 	}
+	// One solve id covers the whole race; each entrant gets a tracer scoped
+	// to (raceID, entrant name), so the interleaved streams of concurrent
+	// entrants demultiplex offline. Race-level events (winner, share stats)
+	// carry the id under the "race" source.
+	var raceID string
+	if trace.Enabled() {
+		raceID = obs.NextSolveID()
+	}
+	raceTrace := obs.WithSource(trace, obs.Source{Solve: raceID, Name: "race"})
 	start := time.Now()
 
 	bus := o.Bus
@@ -368,6 +386,7 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions
 		if bus != nil {
 			peer = bus.NewPeer(e.Name)
 		}
+		entTrace := obs.WithSource(trace, obs.Source{Solve: raceID, Name: e.Name})
 		go func() {
 			// Window sizes grow geometrically so easy instances finish in
 			// the first window and cancellation stays responsive on hard
@@ -376,12 +395,12 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions
 			budget := int64(20_000)
 			// report pairs the verdict message with its trace event.
 			report := func(r sat.Result, status string, certified bool, err error) {
-				if trace.Enabled() {
+				if entTrace.Enabled() {
 					ev := obs.PortfolioEvent{Entrant: e.Name, Status: status, Budget: budget}
 					if err != nil {
 						ev.Err = err.Error()
 					}
-					trace.Emit(ev)
+					entTrace.Emit(ev)
 				}
 				results <- msg{e.Name, r, certified, err}
 			}
@@ -391,10 +410,10 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions
 					return
 				default:
 				}
-				if trace.Enabled() {
-					trace.Emit(obs.PortfolioEvent{Entrant: e.Name, Status: "window", Budget: budget})
+				if entTrace.Enabled() {
+					entTrace.Emit(obs.PortfolioEvent{Entrant: e.Name, Status: "window", Budget: budget})
 				}
-				in := RunInput{Formula: f.Copy(), Budget: budget, Certify: o.Certify}
+				in := RunInput{Formula: f.Copy(), Budget: budget, Certify: o.Certify, Trace: entTrace}
 				if peer != nil {
 					in.Exchange = peer
 					if sharedProof != nil {
@@ -454,15 +473,15 @@ func race(ctx context.Context, f *cnf.Formula, entrants []Entrant, o RaceOptions
 				}
 				continue
 			}
-			if trace.Enabled() {
-				trace.Emit(obs.PortfolioEvent{Entrant: m.name, Status: "winner"})
+			if raceTrace.Enabled() {
+				raceTrace.Emit(obs.PortfolioEvent{Entrant: m.name, Status: "winner"})
 			}
 			out := Outcome{Winner: m.name, Result: m.res, Elapsed: time.Since(start),
 				Certified: m.cert, Aggregate: agg.snapshot()}
 			if bus != nil {
 				out.Share = bus.Stats()
-				if trace.Enabled() {
-					trace.Emit(obs.ShareEvent{
+				if raceTrace.Enabled() {
+					raceTrace.Emit(obs.ShareEvent{
 						Exported:   out.Share.Exported,
 						Imported:   out.Share.Imported,
 						Filtered:   out.Share.Filtered,
