@@ -32,6 +32,45 @@ go test -run='TestTemplateInstantiateZeroAllocs|TestTemplateEmbeddingsVerify' -c
 go test -race -count=1 ./internal/qpu ./internal/hyqsat
 go test -run=TestResilientHappyPathAllocs -count=1 ./internal/qpu
 HYQSAT_PERF_GATE=1 go test -run=TestResilientOverhead -count=1 -v ./internal/qpu
+# Wire-chaos gate: the networked path end to end under the race detector —
+# the hyqsatd service layer (admission control, per-tenant quotas,
+# idempotency, SIGTERM drain), full hybrid solves through qpu.Remote behind
+# a fault-injecting proxy at >=30% fault rates with certified verdicts and
+# goroutine accounting, and dead-server degradation to the Local standby.
+# The decode fuzz targets pin that no wire payload can panic either side.
+go test -race -count=1 ./internal/serve ./cmd/hyqsatd
+go test -run='^$' -fuzz=FuzzRemoteDecode -fuzztime=10s ./internal/qpu
+go test -run='^$' -fuzz=FuzzWireProblemDecode -fuzztime=10s ./internal/anneal
+# Built-binary service smoke: a real hyqsatd process serves a job round trip
+# (submit DIMACS, poll to a certified verdict) and drains cleanly on TERM.
+wiredir=$(mktemp -d)
+go build -o "$wiredir" ./cmd/hyqsatd ./cmd/satgen
+"$wiredir/satgen" -random -vars 20 -clauses 84 -seed 7 > "$wiredir/inst.cnf"
+"$wiredir/hyqsatd" -addr 127.0.0.1:0 -drain-grace 2s > "$wiredir/out.log" 2> "$wiredir/err.log" &
+dpid=$!
+base=""
+for _ in $(seq 1 100); do
+	base=$(sed -n 's#.*serving on \(http://[^ ]*\).*#\1#p' "$wiredir/err.log" | head -1)
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+test -n "$base"
+python3 -c 'import json,sys; print(json.dumps({"cnf": sys.stdin.read(), "seed": 3}))' \
+	< "$wiredir/inst.cnf" > "$wiredir/req.json"
+jobid=$(curl -sf -X POST --data-binary "@$wiredir/req.json" "$base/v1/jobs" \
+	| sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+test -n "$jobid"
+verdict=""
+for _ in $(seq 1 200); do
+	verdict=$(curl -sf "$base/v1/jobs/$jobid" | sed -n 's/.*"verdict":"\([^"]*\)".*/\1/p')
+	[ -n "$verdict" ] && break
+	sleep 0.1
+done
+test "$verdict" = "sat" -o "$verdict" = "unsat"
+kill -TERM "$dpid"
+wait "$dpid"
+grep -q 'drained cleanly' "$wiredir/out.log"
+rm -rf "$wiredir"
 # Telemetry gates: the sweep kernel keeps its 0 allocs/op contract with the
 # no-op tracer installed, and stays within 1% ns/op of the untraced kernel
 # (in-process interleaved benchmark; opt-in via the env var).

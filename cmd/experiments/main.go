@@ -48,6 +48,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
+		go func() {
+			if serr, ok := <-srv.Err(); ok && serr != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics server died: %v\n", serr)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s\n", srv.Addr)
 	}
 

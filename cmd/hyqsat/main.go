@@ -65,6 +65,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"hyqsat/internal/cnf"
@@ -188,6 +189,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer srv.Close()
+		go func() {
+			// A dead introspection endpoint mid-solve should be visible, not
+			// silent: surface an abnormal serving-loop exit on stderr.
+			if serr, ok := <-srv.Err(); ok && serr != nil {
+				fmt.Fprintln(stderr, "hyqsat: metrics server died:", serr)
+			}
+		}()
 		stopSampler := obs.StartRuntimeSampler(reg, 0)
 		defer stopSampler()
 		fmt.Fprintf(stderr, "c metrics listening on http://%s\n", srv.Addr)
@@ -219,7 +227,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	// SIGTERM (the orchestrator's shutdown signal) gets the same graceful
+	// treatment as Ctrl-C: cancel the solve, dump partial telemetry, exit
+	// cleanly — not a killed process with a half-written trace.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctxWhy := func() string {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {

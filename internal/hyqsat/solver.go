@@ -311,6 +311,13 @@ type Solver struct {
 
 	// recorder captures the CDCL proof trace when SelfCertify is on.
 	recorder *verify.Recorder
+
+	// qaDisabled flips when the backend rejects a submission permanently
+	// (quota budget spent, auth revoked — anything satisfying
+	// qpu.Permanent). Re-submitting cannot succeed, so the remaining warm-up
+	// iterations skip straight to CDCL instead of paying a doomed QA round
+	// trip each time.
+	qaDisabled bool
 }
 
 // Phase indices of the measured Fig 11 phases (QA device time is modelled,
@@ -606,7 +613,7 @@ func (s *Solver) SolveContext(ctx context.Context) Result {
 		if err := ctx.Err(); err != nil {
 			return s.interrupted(err)
 		}
-		if it%s.opts.QAInterval != 0 {
+		if it%s.opts.QAInterval != 0 || s.qaDisabled {
 			if done, res := s.stepCDCL(); done {
 				return res
 			}
@@ -1015,6 +1022,11 @@ func (s *Solver) fullModel(qa cnf.Assignment) ([]bool, bool) {
 // certified when SelfCertify is on).
 func (s *Solver) degrade(iteration int64, cause error) (bool, Result) {
 	s.m.degraded.Inc()
+	if qpu.Permanent(cause) {
+		// A policy rejection, not an outage: the backend will refuse every
+		// further submission the same way, so stop asking.
+		s.qaDisabled = true
+	}
 	if s.trace.Enabled() {
 		s.trace.Emit(obs.DegradeEvent{Iteration: iteration, Err: cause.Error()})
 	}

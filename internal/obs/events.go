@@ -231,3 +231,23 @@ type CubeEvent struct {
 
 // Kind implements Event.
 func (CubeEvent) Kind() string { return "cube" }
+
+// JobEvent records a lifecycle transition of one service job in hyqsatd:
+// "accepted" (admitted to the queue), "rejected" (admission refused — Err
+// carries the stable reason tag: "queue_full", "quota", "draining", ...),
+// "started", "done" (Verdict "sat"/"unsat"/"unknown"), "failed", and
+// "checkpointed" (drain interrupted the solve; the job is resumable). QueueMs
+// is the time spent waiting for a worker, RunMs the solve time; both are zero
+// until the respective phase has happened.
+type JobEvent struct {
+	Job     string `json:"job"`
+	Tenant  string `json:"tenant"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict,omitempty"`
+	Err     string `json:"err,omitempty"`
+	QueueMs int64  `json:"queue_ms,omitempty"`
+	RunMs   int64  `json:"run_ms,omitempty"`
+}
+
+// Kind implements Event.
+func (JobEvent) Kind() string { return "job" }

@@ -119,6 +119,9 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case "cube":
 		e, err := unmarshal(&CubeEvent{})
 		return deref(e, err)
+	case "job":
+		e, err := unmarshal(&JobEvent{})
+		return deref(e, err)
 	}
 	return nil, nil
 }
@@ -155,6 +158,8 @@ func deref(e Event, err error) (Event, error) {
 	case *ShareEvent:
 		return *v, nil
 	case *CubeEvent:
+		return *v, nil
+	case *JobEvent:
 		return *v, nil
 	}
 	return e, nil

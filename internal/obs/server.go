@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
@@ -108,6 +109,7 @@ type Server struct {
 	Addr string // actual listen address (useful with ":0")
 	srv  *http.Server
 	ln   net.Listener
+	err  chan error
 }
 
 // Serve starts an HTTP server for h on addr (host:port; ":0" picks a free
@@ -119,9 +121,23 @@ func Serve(addr string, h http.Handler) (*Server, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln, err: make(chan error, 1)}
+	go func() {
+		serr := srv.Serve(ln)
+		if serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			s.err <- serr
+		}
+		close(s.err)
+	}()
+	return s, nil
 }
+
+// Err reports the serving loop's fate. The channel delivers at most one error
+// — an abnormal exit of srv.Serve, such as the listener dying under the
+// server — and is closed when serving stops for any reason. A clean Close
+// just closes the channel. Callers typically select on it next to their
+// shutdown signal so a dead introspection endpoint is logged, not silent.
+func (s *Server) Err() <-chan error { return s.err }
 
 // Close stops the server gracefully: the listener closes immediately (no new
 // connections) but in-flight requests — a /metrics scrape mid-write, a

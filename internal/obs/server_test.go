@@ -225,3 +225,37 @@ func TestConcurrentEmitAndScrape(t *testing.T) {
 		t.Fatal("no events recorded")
 	}
 }
+
+// TestServerErr: a clean Close just closes the error channel; a listener
+// yanked out from under the running server surfaces the failure on Err.
+func TestServerErr(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil, nil))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case serr, ok := <-srv.Err():
+		if ok && serr != nil {
+			t.Fatalf("clean shutdown reported error: %v", serr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Err not closed after clean shutdown")
+	}
+
+	srv2, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil, nil))
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	srv2.ln.Close() // the listener dies under the server
+	select {
+	case serr := <-srv2.Err():
+		if serr == nil {
+			t.Fatal("dead listener reported no error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dead listener never surfaced on Err")
+	}
+}

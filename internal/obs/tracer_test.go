@@ -27,6 +27,8 @@ var allKinds = []Event{
 	DegradeEvent{Iteration: 5, Err: "breaker open"},
 	ShareEvent{Exported: 10, Imported: 4, Filtered: 2, Duplicates: 1, Dropped: 3},
 	CubeEvent{Cube: 3, Worker: 1, Status: "refuted", Conflicts: 1234},
+	JobEvent{Job: "j-1", Tenant: "team-a", State: "done", Verdict: "sat",
+		QueueMs: 12, RunMs: 340},
 }
 
 func TestJSONLRoundTrip(t *testing.T) {

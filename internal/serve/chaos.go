@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ChaosProfile sets per-request fault probabilities for the ChaosProxy. The
+// probabilities are evaluated in the order drop, stall, serverError,
+// corrupt, truncate; at most one fault fires per request.
+type ChaosProfile struct {
+	Drop        float64       // abort the exchange without a response
+	Stall       float64       // sleep StallFor before forwarding
+	StallFor    time.Duration // default 50ms
+	ServerError float64       // reply 502 without forwarding
+	Corrupt     float64       // forward, then flip bytes in the response body
+	Truncate    float64       // forward, then cut the response body short
+}
+
+// ChaosProxy is a deterministic fault-injecting HTTP reverse proxy for wire
+// chaos tests: it forwards to Target and mangles the exchange per Profile,
+// seeded so failures reproduce. It implements http.Handler; serve it with
+// httptest.NewServer and point a qpu.Remote at it.
+type ChaosProxy struct {
+	Target  *url.URL
+	Profile ChaosProfile
+	// Transport forwards the request; nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// fault counters, for asserting the chaos actually happened
+	Drops, Stalls, Errors, Corrupts, Truncates int
+}
+
+// NewChaosProxy builds a proxy toward target (a URL string) with the given
+// profile and seed.
+func NewChaosProxy(target string, profile ChaosProfile, seed int64) (*ChaosProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	if profile.StallFor == 0 {
+		profile.StallFor = 50 * time.Millisecond
+	}
+	return &ChaosProxy{Target: u, Profile: profile, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// roll draws the fault decision for one request under the lock (the rng is
+// not concurrency-safe) and updates the fault counters.
+func (p *ChaosProxy) roll() (fault string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.rng.Float64()
+	switch pr := p.Profile; {
+	case r < pr.Drop:
+		p.Drops++
+		return "drop"
+	case r < pr.Drop+pr.Stall:
+		p.Stalls++
+		return "stall"
+	case r < pr.Drop+pr.Stall+pr.ServerError:
+		p.Errors++
+		return "error"
+	case r < pr.Drop+pr.Stall+pr.ServerError+pr.Corrupt:
+		p.Corrupts++
+		return "corrupt"
+	case r < pr.Drop+pr.Stall+pr.ServerError+pr.Corrupt+pr.Truncate:
+		p.Truncates++
+		return "truncate"
+	}
+	return ""
+}
+
+// Faults reports the total number of injected faults so far.
+func (p *ChaosProxy) Faults() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Drops + p.Stalls + p.Errors + p.Corrupts + p.Truncates
+}
+
+func (p *ChaosProxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	fault := p.roll()
+	switch fault {
+	case "drop":
+		// Abort the connection mid-exchange: the client sees an unexpected
+		// EOF, the classic lost-response failure idempotency exists for.
+		panic(http.ErrAbortHandler)
+	case "stall":
+		select {
+		case <-time.After(p.Profile.StallFor):
+		case <-req.Context().Done():
+			return
+		}
+	case "error":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = w.Write([]byte(`{"error":"chaos","detail":"injected 502"}`))
+		return
+	}
+
+	out := req.Clone(req.Context())
+	out.URL.Scheme = p.Target.Scheme
+	out.URL.Host = p.Target.Host
+	out.RequestURI = ""
+	out.Host = ""
+	transport := p.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	resp, err := transport.RoundTrip(out)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		_, _ = w.Write([]byte(`{"error":"upstream","detail":` + strconv.Quote(err.Error()) + `}`))
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+
+	switch fault {
+	case "corrupt":
+		body = p.corrupt(body)
+	case "truncate":
+		if len(body) > 1 {
+			// Announce the full length, send a prefix, abort: the client
+			// observes a truncated body, not a short-but-complete one.
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(body[:len(body)/2])
+			panic(http.ErrAbortHandler)
+		}
+	}
+	for k, vs := range resp.Header {
+		if k == "Content-Length" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// corrupt flips a handful of bytes, biased toward JSON structure characters
+// so payloads break in interesting ways, not just at the charset level.
+func (p *ChaosProxy) corrupt(body []byte) []byte {
+	if len(body) == 0 {
+		return []byte("{") // an unclosed brace where an empty body was
+	}
+	out := bytes.Clone(body)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		pos := p.rng.Intn(len(out))
+		out[pos] = "}{[]:,x\x00"[p.rng.Intn(8)]
+	}
+	return out
+}
