@@ -32,6 +32,14 @@ go test -run='TestTemplateInstantiateZeroAllocs|TestTemplateEmbeddingsVerify' -c
 go test -race -count=1 ./internal/qpu ./internal/hyqsat
 go test -run=TestResilientHappyPathAllocs -count=1 ./internal/qpu
 HYQSAT_PERF_GATE=1 go test -run=TestResilientOverhead -count=1 -v ./internal/qpu
+# Cross-solve batching gates: the tiling packer and batch scheduler under the
+# race detector (including the determinism contract: demuxed read-sets are
+# bit-identical to sequential solo sampling at the same seeds), pro-rata
+# device-time shares summing exactly to the batched program's access time,
+# and the steady-state pack/demux cycle staying allocation-free.
+go test -race -count=1 ./internal/qbatch
+go test -run='TestSampleBatchBitIdenticalToSequentialSample|TestSplitAccessTimeSumsExactly' -count=1 ./internal/anneal
+go test -run='TestPackSteadyStateAllocs' -count=1 ./internal/qbatch
 # Wire-chaos gate: the networked path end to end under the race detector —
 # the hyqsatd service layer (admission control, per-tenant quotas,
 # idempotency, SIGTERM drain), full hybrid solves through qpu.Remote behind
@@ -41,12 +49,15 @@ HYQSAT_PERF_GATE=1 go test -run=TestResilientOverhead -count=1 -v ./internal/qpu
 go test -race -count=1 ./internal/serve ./cmd/hyqsatd
 go test -run='^$' -fuzz=FuzzRemoteDecode -fuzztime=10s ./internal/qpu
 go test -run='^$' -fuzz=FuzzWireProblemDecode -fuzztime=10s ./internal/anneal
-# Built-binary service smoke: a real hyqsatd process serves a job round trip
-# (submit DIMACS, poll to a certified verdict) and drains cleanly on TERM.
+# Built-binary service smoke: a real hyqsatd process with QPU batching on
+# serves a job round trip (submit DIMACS, poll to a certified verdict), its
+# introspection listener reports the solve's QA accesses ran as batched
+# device programs, and it drains cleanly on TERM.
 wiredir=$(mktemp -d)
 go build -o "$wiredir" ./cmd/hyqsatd ./cmd/satgen
 "$wiredir/satgen" -random -vars 20 -clauses 84 -seed 7 > "$wiredir/inst.cnf"
-"$wiredir/hyqsatd" -addr 127.0.0.1:0 -drain-grace 2s > "$wiredir/out.log" 2> "$wiredir/err.log" &
+"$wiredir/hyqsatd" -addr 127.0.0.1:0 -obs 127.0.0.1:0 -qpu-window 200us -qpu-batch-members 4 \
+	-drain-grace 2s > "$wiredir/out.log" 2> "$wiredir/err.log" &
 dpid=$!
 base=""
 for _ in $(seq 1 100); do
@@ -55,6 +66,13 @@ for _ in $(seq 1 100); do
 	sleep 0.1
 done
 test -n "$base"
+obsbase=""
+for _ in $(seq 1 100); do
+	obsbase=$(sed -n 's#.*introspection on \(http://[^ ]*\).*#\1#p' "$wiredir/err.log" | head -1)
+	[ -n "$obsbase" ] && break
+	sleep 0.1
+done
+test -n "$obsbase"
 python3 -c 'import json,sys; print(json.dumps({"cnf": sys.stdin.read(), "seed": 3}))' \
 	< "$wiredir/inst.cnf" > "$wiredir/req.json"
 jobid=$(curl -sf -X POST --data-binary "@$wiredir/req.json" "$base/v1/jobs" \
@@ -67,6 +85,11 @@ for _ in $(seq 1 200); do
 	sleep 0.1
 done
 test "$verdict" = "sat" -o "$verdict" = "unsat"
+# The solve's QA accesses went through the batch scheduler: at least one
+# device program ran and modelled device time accrued.
+curl -sf "$obsbase/metrics" > "$wiredir/metrics.txt"
+grep -E '^batch_programs [1-9]' "$wiredir/metrics.txt"
+grep -E '^batch_device_ns [1-9]' "$wiredir/metrics.txt"
 kill -TERM "$dpid"
 wait "$dpid"
 grep -q 'drained cleanly' "$wiredir/out.log"
@@ -136,4 +159,10 @@ if [ "${HYQSAT_PERF_GATE:-0}" = "1" ]; then
 	# `go run ./cmd/benchreport -suite embed` after intentional perf changes.
 	HYQSAT_PERF_GATE=1 go test -run=TestEmbedTemplateSpeedup -count=1 -v ./internal/hyqsat
 	go run ./cmd/benchreport -suite embed -compare BENCH_embed.json -threshold 75
+	# Serve throughput gate: rerun the daemon throughput suite (paced virtual
+	# QPU, 1/8/64 clients, batching on/off) against the committed snapshot.
+	# Wall-clock jobs/sec on a small shared host is the noisiest number in the
+	# repo, hence the widest threshold. Regenerate the snapshot with
+	# `go run ./cmd/benchreport -suite serve` after intentional perf changes.
+	go run ./cmd/benchreport -suite serve -compare BENCH_serve.json -threshold 100
 fi

@@ -1,6 +1,6 @@
 // Command benchreport runs the repository's micro-benchmarks programmatically
 // and writes machine-readable baselines, so future changes have a perf
-// trajectory to compare against. Four suites exist:
+// trajectory to compare against. Five suites exist:
 //
 //   - sampler (default): the QA sweep-kernel workloads of the root
 //     BenchmarkSampleOnce / BenchmarkSamplerParallel → BENCH_baseline.json
@@ -13,6 +13,10 @@
 //     cold Fast pipeline vs template instantiation vs cache hit, per
 //     topology → BENCH_embed.json (template_speedup records the cold/template
 //     ratio; the template rows must stay at 0 allocs/op)
+//   - serve: end-to-end daemon throughput under a paced virtual QPU at
+//     1/8/64 concurrent clients with batching on and off → BENCH_serve.json
+//     (serve_batch_speedup_8c records jobs/sec on over off at 8 clients; the
+//     acceptance bar is > 1)
 //
 // Usage:
 //
@@ -51,6 +55,7 @@ import (
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/portfolio"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/serve"
 )
 
 // readsPerCall mirrors the root BenchmarkSamplerParallel workload.
@@ -63,6 +68,11 @@ type benchResult struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	// Serve-suite latency/device columns: client-observed p50/p99 job
+	// latency and modelled QPU device time per verdict.
+	P50NsPerOp    float64 `json:"p50_ns_per_op,omitempty"`
+	P99NsPerOp    float64 `json:"p99_ns_per_op,omitempty"`
+	DeviceNsPerOp float64 `json:"device_ns_per_op,omitempty"`
 }
 
 type report struct {
@@ -86,8 +96,12 @@ type report struct {
 	// instantiation ns/op on the same Chimera queue (embed suite). The
 	// acceptance bar is >= 5; check.sh's opt-in perf gate enforces it via
 	// TestEmbedTemplateSpeedup.
-	TemplateSpeedup float64       `json:"template_speedup,omitempty"`
-	Benchmarks      []benchResult `json:"benchmarks"`
+	TemplateSpeedup float64 `json:"template_speedup,omitempty"`
+	// ServeBatchSpeedup8C is jobs/sec with QPU batching on over off at 8
+	// concurrent clients (serve suite). The acceptance bar is > 1: batching
+	// must raise throughput once the paced device is contended.
+	ServeBatchSpeedup8C float64       `json:"serve_batch_speedup_8c,omitempty"`
+	Benchmarks          []benchResult `json:"benchmarks"`
 	// PreRefactor holds reference numbers recorded before a landmark change
 	// (for the cdcl suite: the pre-arena clause representation). It is
 	// carried through rewrites and never regenerated.
@@ -297,6 +311,54 @@ func embedSuite() (report, error) {
 	return rep, nil
 }
 
+// serveSuite measures end-to-end daemon throughput under a paced virtual QPU
+// at 1, 8 and 64 concurrent clients, with batching on and off. NumReads=16
+// per QA access makes the modelled device time large enough that the serial
+// device is genuinely contended — the regime cross-solve batching exists
+// for. Each row reports wall-clock per job (ns/op), jobs/sec
+// (samples_per_sec), client p50/p99 latency, and device time per verdict.
+func serveSuite() (report, error) {
+	rep := hostReport("serve")
+	jobsPerSec := map[bool]map[int]float64{true: {}, false: {}}
+	for _, clients := range []int{1, 8, 64} {
+		jobs := 4 * clients
+		if jobs > 128 {
+			jobs = 128
+		}
+		for _, batching := range []bool{false, true} {
+			res, err := serve.RunThroughputBench(serve.ThroughputConfig{
+				Clients:  clients,
+				Jobs:     jobs,
+				Batching: batching,
+				Reads:    16,
+				Seed:     7,
+			})
+			if err != nil {
+				return report{}, err
+			}
+			mode := "off"
+			if batching {
+				mode = "on"
+			}
+			row := benchResult{
+				Name:          fmt.Sprintf("ServeJobs/clients=%d/batch=%s", clients, mode),
+				Iterations:    res.Jobs,
+				NsPerOp:       float64(res.Elapsed.Nanoseconds()) / float64(res.Jobs),
+				SamplesPerSec: res.JobsPerSec,
+				P50NsPerOp:    float64(res.P50.Nanoseconds()),
+				P99NsPerOp:    float64(res.P99.Nanoseconds()),
+				DeviceNsPerOp: float64(res.DevicePerVerdict.Nanoseconds()),
+			}
+			rep.Benchmarks = append(rep.Benchmarks, row)
+			jobsPerSec[batching][clients] = res.JobsPerSec
+		}
+	}
+	if off := jobsPerSec[false][8]; off > 0 {
+		rep.ServeBatchSpeedup8C = jobsPerSec[true][8] / off
+	}
+	return rep, nil
+}
+
 func runSuite(suite string) (report, error) {
 	switch suite {
 	case "sampler":
@@ -307,8 +369,10 @@ func runSuite(suite string) (report, error) {
 		return portfolioSuite()
 	case "embed":
 		return embedSuite()
+	case "serve":
+		return serveSuite()
 	default:
-		return report{}, fmt.Errorf("unknown suite %q (want sampler, cdcl, portfolio, or embed)", suite)
+		return report{}, fmt.Errorf("unknown suite %q (want sampler, cdcl, portfolio, embed, or serve)", suite)
 	}
 }
 
@@ -321,6 +385,9 @@ func defaultOut(suite string) string {
 	}
 	if suite == "embed" {
 		return "BENCH_embed.json"
+	}
+	if suite == "serve" {
+		return "BENCH_serve.json"
 	}
 	return "BENCH_baseline.json"
 }
@@ -342,6 +409,9 @@ func mergeReports(prev, cur report) report {
 	}
 	if merged.TemplateSpeedup == 0 {
 		merged.TemplateSpeedup = prev.TemplateSpeedup
+	}
+	if merged.ServeBatchSpeedup8C == 0 {
+		merged.ServeBatchSpeedup8C = prev.ServeBatchSpeedup8C
 	}
 	curByName := map[string]benchResult{}
 	for _, b := range cur.Benchmarks {
@@ -416,7 +486,7 @@ func fatal(err error) {
 }
 
 func main() {
-	suite := flag.String("suite", "sampler", "benchmark suite: sampler, cdcl, portfolio, or embed")
+	suite := flag.String("suite", "sampler", "benchmark suite: sampler, cdcl, portfolio, embed, or serve")
 	out := flag.String("o", "", "output path (default depends on suite)")
 	stdout := flag.Bool("stdout", false, "print the report instead of writing it")
 	compare := flag.String("compare", "", "prior snapshot to compare against (regression gate; no file is written)")
@@ -500,6 +570,9 @@ func main() {
 		fmt.Printf("benchreport: wrote %s (template %.0f ns/op %d allocs/op, %.0fx over cold Fast)\n",
 			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,
 			rep.TemplateSpeedup)
+	case "serve":
+		fmt.Printf("benchreport: wrote %s (batching speedup at 8 clients %.2fx on %d CPUs)\n",
+			path, rep.ServeBatchSpeedup8C, rep.NumCPU)
 	default:
 		fmt.Printf("benchreport: wrote %s (SampleOnce %.0f ns/op, %d allocs/op; 4-worker speedup %.2fx on %d CPUs)\n",
 			path, rep.Benchmarks[0].NsPerOp, rep.Benchmarks[0].AllocsPerOp,

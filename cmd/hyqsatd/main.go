@@ -24,6 +24,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -51,12 +53,41 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	solveTimeout := fs.Duration("solve-timeout", 2*time.Minute, "per-job solve cap")
 	drainGrace := fs.Duration("drain-grace", 5*time.Second, "how long drain lets in-flight solves finish before checkpointing them")
 	traceFile := fs.String("trace", "", "append the JSONL solve trace to this file")
+	qpuWindow := fs.Duration("qpu-window", 0, "QPU batching window: concurrent sample/solve QA accesses within it share one device program (0 = default 100µs, negative disables batching)")
+	qpuMembers := fs.Int("qpu-batch-members", 0, "max requests per batched device program (0 = default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the daemon's lifetime to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken at drain to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "hyqsatd:", err)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "hyqsatd: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	reg := obs.NewRegistry()
@@ -82,11 +113,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			DeviceBudget:  *deviceBudget,
 			DeviceRefill:  *deviceRefill,
 		},
-		SolveTimeout: *solveTimeout,
-		DrainGrace:   *drainGrace,
-		Trace:        obs.Tee(sinks...),
-		Metrics:      reg,
-		Flush:        flush,
+		SolveTimeout:    *solveTimeout,
+		DrainGrace:      *drainGrace,
+		BatchWindow:     *qpuWindow,
+		BatchMaxMembers: *qpuMembers,
+		Trace:           obs.Tee(sinks...),
+		Metrics:         reg,
+		Flush:           flush,
 	})
 
 	api, err := obs.Serve(*addr, svc.Handler())

@@ -43,3 +43,54 @@ func (t TimingModel) AccessTime(n int) time.Duration {
 // SampleTime is AccessTime(1): the cost HyQSAT pays per iteration, since it
 // executes a single sample and lets CDCL absorb errors.
 func (t TimingModel) SampleTime() time.Duration { return t.AccessTime(1) }
+
+// BatchAccessTime returns the modelled device time of one batched program
+// serving several co-tiled members: the chip is programmed once and every
+// read cycle anneals and reads out all members simultaneously, so the program
+// runs max(reads) cycles and costs exactly AccessTime(max(reads)).
+func (t TimingModel) BatchAccessTime(reads []int) time.Duration {
+	max := 0
+	for _, r := range reads {
+		if r <= 0 {
+			r = 1
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return t.AccessTime(max)
+}
+
+// SplitAccessTime splits BatchAccessTime(reads) across the members of one
+// batched program, pro-rata by requested reads (a member asking for more read
+// cycles occupies more of the program's readout budget). The shares are exact:
+// integer nanosecond remainders are assigned deterministically to the earliest
+// members, so the returned durations always sum to BatchAccessTime(reads) —
+// tenants collectively pay for exactly one program, never more or less.
+func (t TimingModel) SplitAccessTime(reads []int) []time.Duration {
+	if len(reads) == 0 {
+		return nil
+	}
+	total := t.BatchAccessTime(reads).Nanoseconds()
+	sum := int64(0)
+	shares := make([]time.Duration, len(reads))
+	for _, r := range reads {
+		if r <= 0 {
+			r = 1
+		}
+		sum += int64(r)
+	}
+	assigned := int64(0)
+	for i, r := range reads {
+		if r <= 0 {
+			r = 1
+		}
+		s := total * int64(r) / sum
+		shares[i] = time.Duration(s)
+		assigned += s
+	}
+	for rem := total - assigned; rem > 0; rem-- {
+		shares[rem-1] += time.Nanosecond
+	}
+	return shares
+}

@@ -52,7 +52,15 @@ const MaxWireQubits = 1 << 16
 // aliases the problem's internal slices — treat it as read-only and encode it
 // promptly.
 func (ep *EmbeddedProblem) Wire() *WireProblem {
-	return &WireProblem{
+	w := ep.WireView()
+	return &w
+}
+
+// WireView is Wire by value: the same aliased read-only view without the
+// heap allocation, for hot-path consumers like the qbatch packer that walk
+// the flattened structure on every request.
+func (ep *EmbeddedProblem) WireView() WireProblem {
+	return WireProblem{
 		Qubits:     ep.Qubits,
 		H:          ep.H,
 		Offset:     ep.offset,

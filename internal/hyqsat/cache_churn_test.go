@@ -1,0 +1,86 @@
+package hyqsat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyqsat/internal/cnf"
+)
+
+// TestSharedEmbedCacheConcurrentChurn drives a small-capacity cache with
+// parallel readers and writers whose working set is several times the
+// capacity, forcing constant eviction across all shards. Meaningful under
+// -race (tier-1 runs the package with -race via check.sh). Invariants:
+// every hit returns the entry stored under exactly that key (no
+// cross-key/cross-shard leakage), hits+misses equals the number of lookups
+// issued, and the cache never exceeds its per-shard capacity bound.
+func TestSharedEmbedCacheConcurrentChurn(t *testing.T) {
+	const capacity = 16 // 2 entries per shard
+	const distinctKeys = 96
+	const workers = 8
+	const opsPerWorker = 4000
+
+	c := NewSharedEmbedCache(capacity)
+
+	// Distinct synthetic keys with deterministic identities: entry i is
+	// marked by embedded == i+1, so a hit can be checked against the key it
+	// was stored under.
+	keys := make([][]cnf.Lit, distinctKeys)
+	hashes := make([]uint64, distinctKeys)
+	entries := make([]*embedCacheEntry, distinctKeys)
+	for i := range keys {
+		key := make([]cnf.Lit, 0, 8)
+		for j := 0; j < 3+i%4; j++ {
+			key = append(key, cnf.MkLit(cnf.Var(i*7+j), (i+j)%2 == 0), cnf.NoLit)
+		}
+		keys[i] = key
+		hashes[i] = hashLits(key)
+		entries[i] = &embedCacheEntry{embedded: i + 1}
+	}
+
+	var lookups int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			local := int64(0)
+			for op := 0; op < opsPerWorker; op++ {
+				i := rng.Intn(distinctKeys)
+				local++
+				if got := c.lookup(keys[i], hashes[i]); got != nil {
+					if got.embedded != i+1 {
+						t.Errorf("lookup(key %d) returned entry for key %d", i, got.embedded-1)
+						return
+					}
+				} else {
+					c.store(keys[i], hashes[i], entries[i])
+				}
+			}
+			mu.Lock()
+			lookups += local
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	hits, misses, evictions := c.HitsMissesEvictions()
+	if hits+misses != lookups {
+		t.Fatalf("hits(%d) + misses(%d) = %d, want %d lookups", hits, misses, hits+misses, lookups)
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate churn: hits=%d misses=%d", hits, misses)
+	}
+	if evictions == 0 {
+		t.Fatalf("working set %d over capacity %d never evicted", distinctKeys, capacity)
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+}

@@ -1,0 +1,53 @@
+package hyqsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyqsat/internal/sat"
+)
+
+// TestSatPoolBitIdenticalSolve: hybrid solvers drawing their CDCL core from
+// a shared sat.Pool produce results bit-identical to fresh ones, across a
+// stream of jobs recycling the same pooled state.
+func TestSatPoolBitIdenticalSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pool := sat.NewPool()
+	for job := 0; job < 6; job++ {
+		f := random3SAT(rng, 10+job%3*4, 40+rng.Intn(15))
+		opts := Options{Seed: int64(700 + job)}
+
+		fresh := New(f, opts).Solve()
+
+		pooledOpts := opts
+		pooledOpts.SatPool = pool
+		ps := New(f, pooledOpts)
+		pooled := ps.Solve()
+		ps.Release()
+
+		if fresh.Status != pooled.Status {
+			t.Fatalf("job %d: status fresh=%v pooled=%v", job, fresh.Status, pooled.Status)
+		}
+		if len(fresh.Model) != len(pooled.Model) {
+			t.Fatalf("job %d: model lengths %d vs %d", job, len(fresh.Model), len(pooled.Model))
+		}
+		for i := range fresh.Model {
+			if fresh.Model[i] != pooled.Model[i] {
+				t.Fatalf("job %d: model diverges at var %d", job, i)
+			}
+		}
+		if fresh.Stats.SAT != pooled.Stats.SAT {
+			t.Fatalf("job %d: CDCL stats diverge\nfresh:  %+v\npooled: %+v",
+				job, fresh.Stats.SAT, pooled.Stats.SAT)
+		}
+	}
+}
+
+// TestReleaseWithoutPool: Release on an unpooled solver is a safe no-op.
+func TestReleaseWithoutPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := New(random3SAT(rng, 8, 20), Options{Seed: 1})
+	s.Solve()
+	s.Release()
+	s.Release()
+}

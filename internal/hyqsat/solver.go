@@ -61,6 +61,12 @@ type Options struct {
 	Partition gnb.Partition
 	// CDCL configures the classical solver; defaults to MiniSATOptions.
 	CDCL sat.Options
+	// SatPool, when non-nil, recycles the CDCL core's arena-backed state
+	// across solver lifetimes: New draws from the pool instead of building a
+	// cold sat.Solver, and Release returns it. Hot daemon paths solving a
+	// job stream stop re-allocating watch lists, trails and clause arenas
+	// per job. Pooled and fresh cores are bit-identical in behaviour.
+	SatPool *sat.Pool
 	// Strategies enables feedback strategies; defaults to AllStrategies.
 	Strategies StrategyMask
 	// UseActivityQueue selects the §IV-A activity/BFS queue (true, default)
@@ -402,11 +408,15 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		formula: f3,
 		origin:  origin,
-		sat:     sat.New(f3, cdclOpts),
 		varAdj:  cnf.VarAdjacency(f3),
 		sampler: anneal.NewSampler(opts.Schedule, opts.Noise, opts.Seed^0x3c3c3c),
 		cache:   newEmbedCache(),
 		belief:  cnf.NewAssignment(f3.NumVars),
+	}
+	if opts.SatPool != nil {
+		s.sat = opts.SatPool.Get(f3, cdclOpts)
+	} else {
+		s.sat = sat.New(f3, cdclOpts)
 	}
 	s.sampler.Workers = opts.SampleWorkers
 
@@ -547,6 +557,18 @@ func (s *Solver) Stats() Stats {
 // Metrics returns the solver's metrics registry — the live counters, gauges
 // and histograms behind Stats, suitable for serving via obs.Handler.
 func (s *Solver) Metrics() *obs.Registry { return s.reg }
+
+// Release returns the CDCL core to the Options.SatPool it came from. The
+// solver must be idle and is unusable afterwards; results already returned
+// stay valid (models are freshly allocated per Sat outcome and never
+// rewritten). No-op when the solver was built without a pool.
+func (s *Solver) Release() {
+	if s.opts.SatPool == nil || s.sat == nil {
+		return
+	}
+	s.opts.SatPool.Put(s.sat)
+	s.sat = nil
+}
 
 // PhaseOverlaps returns how many phase-span disjointness violations the
 // tracker observed; a correct loop keeps this at zero (the Fig 11 phases
@@ -766,7 +788,17 @@ func (s *Solver) hybridIteration(ctx context.Context) (done bool, res Result) {
 	// errors, open breakers and malformed read sets all degrade this
 	// iteration to pure CDCL — the solve continues on classical search and
 	// the next iteration tries the device again. ---
-	reads, err := s.backend.Submit(ctx, ep, s.opts.NumReads)
+	// Cost-aware backends (the qbatch scheduler) report the pro-rata share
+	// of the batched program that served this request; plain backends charge
+	// the full modelled access time for the reads actually returned.
+	var reads anneal.ReadSet
+	var err error
+	deviceShare := time.Duration(-1)
+	if cb, ok := s.backend.(qpu.CostedBackend); ok {
+		reads, deviceShare, err = cb.SubmitCosted(ctx, ep, s.opts.NumReads)
+	} else {
+		reads, err = s.backend.Submit(ctx, ep, s.opts.NumReads)
+	}
 	if err != nil {
 		return s.degrade(iteration, err)
 	}
@@ -781,7 +813,10 @@ func (s *Solver) hybridIteration(ctx context.Context) (done bool, res Result) {
 	sample := reads.BestSample()
 	s.m.qaCalls.Inc()
 	s.m.qaReads.Add(int64(len(reads.Samples)))
-	s.m.qaDeviceNs.Add(s.opts.Timing.AccessTime(len(reads.Samples)).Nanoseconds())
+	if deviceShare < 0 {
+		deviceShare = s.opts.Timing.AccessTime(len(reads.Samples))
+	}
+	s.m.qaDeviceNs.Add(deviceShare.Nanoseconds())
 	s.m.broken.Add(int64(sample.BrokenChains))
 	for i := range reads.Samples {
 		s.m.readEnergy.Observe(reads.Samples[i].HardwareEnergy)

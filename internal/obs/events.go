@@ -84,11 +84,36 @@ type QACallEvent struct {
 	MaxChainLen  int       `json:"max_chain_len,omitempty"`
 	ChainQubits  int       `json:"chain_qubits,omitempty"`
 	Best         int       `json:"best"`
-	DeviceNs     int64     `json:"device_ns"`
+	// BatchSize is the number of co-tiled member requests sharing the device
+	// program this access ran in (0 or 1 = a solo program). When >1, DeviceNs
+	// carries this member's pro-rata share of the single program's access
+	// time — the per-member events of one batch sum exactly to the program's
+	// total, so summing DeviceNs over a trace never double-counts batched
+	// device time.
+	BatchSize int   `json:"batch_size,omitempty"`
+	DeviceNs  int64 `json:"device_ns"`
 }
 
 // Kind implements Event.
 func (QACallEvent) Kind() string { return "qa_call" }
+
+// BatchEvent records one batched device program assembled by the qbatch
+// scheduler: how many member requests were co-tiled, total reads across
+// members, the read count actually programmed (max over members — every read
+// cycle reads all members out together), merged problem size, the modelled
+// device time of the single program, and the device time saved versus running
+// each member as its own program.
+type BatchEvent struct {
+	Members       int   `json:"members"`
+	TotalReads    int   `json:"total_reads"`
+	ProgramReads  int   `json:"program_reads"`
+	ActiveQubits  int   `json:"active_qubits,omitempty"`
+	DeviceNs      int64 `json:"device_ns"`
+	DeviceSavedNs int64 `json:"device_saved_ns"`
+}
+
+// Kind implements Event.
+func (BatchEvent) Kind() string { return "qa_batch" }
 
 // EmbedEvent records one frontend embedding step: the clause-queue length,
 // how many clauses were embedded (0 = unusable queue, skipped to CDCL),

@@ -89,6 +89,9 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case "qa_call":
 		e, err := unmarshal(&QACallEvent{})
 		return deref(e, err)
+	case "qa_batch":
+		e, err := unmarshal(&BatchEvent{})
+		return deref(e, err)
 	case "embed":
 		e, err := unmarshal(&EmbedEvent{})
 		return deref(e, err)
@@ -138,6 +141,8 @@ func deref(e Event, err error) (Event, error) {
 	case *RestartEvent:
 		return *v, nil
 	case *QACallEvent:
+		return *v, nil
+	case *BatchEvent:
 		return *v, nil
 	case *EmbedEvent:
 		return *v, nil

@@ -23,6 +23,7 @@ package qpu
 import (
 	"context"
 	"errors"
+	"time"
 
 	"hyqsat/internal/anneal"
 )
@@ -36,6 +37,19 @@ type Backend interface {
 	Submit(ctx context.Context, ep *anneal.EmbeddedProblem, reads int) (anneal.ReadSet, error)
 	// Name identifies the backend in events and metrics.
 	Name() string
+}
+
+// CostedBackend is a Backend that also reports the modelled device time the
+// caller should be charged for the access. A batching backend (qbatch) serves
+// several co-tiled requests from one device program and charges each member
+// its pro-rata share of the single program's access time — strictly less
+// than the solo AccessTime the caller would otherwise assume. Consumers that
+// account device time (the hybrid solver's qa_device_ns, the daemon's tenant
+// quotas) should type-assert to CostedBackend and prefer SubmitCosted so
+// batched accesses are not double-counted.
+type CostedBackend interface {
+	Backend
+	SubmitCosted(ctx context.Context, ep *anneal.EmbeddedProblem, reads int) (anneal.ReadSet, time.Duration, error)
 }
 
 // ErrBreakerOpen is returned by Resilient.Submit without touching the inner

@@ -18,6 +18,21 @@ func newVarHeap(act []float64) *varHeap {
 	return h
 }
 
+// reset empties the heap and rebinds it to a (possibly reallocated) activity
+// slice, reusing the heap and index storage when capacity allows.
+func (h *varHeap) reset(act []float64) {
+	h.act = act
+	h.heap = h.heap[:0]
+	if cap(h.indices) < len(act) {
+		h.indices = make([]int, len(act))
+	} else {
+		h.indices = h.indices[:len(act)]
+	}
+	for i := range h.indices {
+		h.indices[i] = -1
+	}
+}
+
 func (h *varHeap) less(a, b cnf.Var) bool { return h.act[a] > h.act[b] }
 
 func (h *varHeap) contains(v cnf.Var) bool { return h.indices[v] >= 0 }

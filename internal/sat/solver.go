@@ -120,92 +120,12 @@ type Solver struct {
 // New builds a solver for formula f with the given options. The formula is
 // simplified (tautologies dropped, duplicate literals removed) on ingestion;
 // empty input clauses make the solver immediately Unsat.
+//
+// New is reset applied to a zero Solver — a recycled solver (see Pool) runs
+// through exactly the same initialization, reusing its allocations.
 func New(f *cnf.Formula, opts Options) *Solver {
-	if opts.VarDecay == 0 {
-		opts.VarDecay = 0.95
-	}
-	if opts.ClauseDecay == 0 {
-		opts.ClauseDecay = 0.999
-	}
-	if opts.RestartBase == 0 {
-		opts.RestartBase = 100
-	}
-	n := f.NumVars
-	s := &Solver{
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		formula:  f,
-		watches:  make([][]watcher, 2*n),
-		assigns:  make([]cnf.Value, n),
-		level:    make([]int32, n),
-		reason:   make([]cref, n),
-		trail:    make([]cnf.Lit, 0, n),
-		trailLim: make([]int, 0, n),
-		polarity: make([]bool, n),
-		varAct:   make([]float64, n),
-		varInc:   1.0,
-		claInc:   1.0,
-
-		chbAlpha:     0.4,
-		lastConflict: make([]int64, n),
-
-		seen:        make([]bool, n),
-		analyzeBuf:  make([]cnf.Lit, 0, n+1),
-		bumpedBuf:   make([]cnf.Var, 0, n),
-		lbdSeen:     make([]int64, n+1),
-		clauseScore: make([]float64, len(f.Clauses)),
-
-		status: Unknown,
-	}
-	// Size the arena for the problem clauses up front; learnt records extend
-	// it with ordinary amortised appends.
-	words := 0
-	for _, c := range f.Clauses {
-		words += clauseHeaderWords + len(c)
-	}
-	s.ca.data = make([]cnf.Lit, 0, words)
-	for i := range s.reason {
-		s.reason[i] = crefUndef
-	}
-	for i := range s.polarity {
-		s.polarity[i] = opts.InitialPhase
-	}
-	for i := range s.clauseScore {
-		s.clauseScore[i] = 1.0
-	}
-	if opts.TrackVisits {
-		s.propVisits = make([]int64, len(f.Clauses))
-		s.confVisits = make([]int64, len(f.Clauses))
-	}
-	s.order = newVarHeap(s.varAct)
-	for v := cnf.Var(0); int(v) < n; v++ {
-		s.order.push(v)
-	}
-
-	for i, c := range f.Clauses {
-		nc := c.Normalized()
-		if nc.IsTautology() {
-			continue
-		}
-		switch len(nc) {
-		case 0:
-			s.status = Unsat
-		case 1:
-			if !s.enqueue(nc[0], crefUndef) {
-				s.status = Unsat
-			}
-		default:
-			s.attachClause(nc, false, i)
-		}
-	}
-	if s.status == Unknown {
-		if conflict := s.propagate(); conflict != crefUndef {
-			s.status = Unsat
-		}
-	}
-	s.maxLearnts = float64(len(s.problem))/3.0 + 100
-	s.learntsAdjust = 100
-	s.conflictsUntilRestart = s.restartBudget()
+	s := &Solver{}
+	s.reset(f, opts)
 	return s
 }
 

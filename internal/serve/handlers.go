@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hyqsat/internal/qbatch"
 	"hyqsat/internal/qpu"
 )
 
@@ -192,8 +193,12 @@ func (s *Service) sampleOnce(req *http.Request) (int, []byte) {
 	if err != nil {
 		return fail(http.StatusBadRequest, "bad_problem", err.Error())
 	}
+	// Pre-charge the full solo access time — admission must see the worst
+	// case — then refund the difference once the batcher reports the actual
+	// pro-rata share of the (possibly shared) device program.
+	tenant := tenantOf(req)
 	cost := s.timing().AccessTime(sr.Reads)
-	if err := s.tenants.ChargeDevice(tenantOf(req), cost); err != nil {
+	if err := s.tenants.ChargeDevice(tenant, cost); err != nil {
 		s.m.qpuRejected.Inc()
 		var qe *QuotaError
 		if errors.As(err, &qe) {
@@ -203,9 +208,21 @@ func (s *Service) sampleOnce(req *http.Request) (int, []byte) {
 		blob, _ := json.Marshal(qpu.WireErrorBody{Error: "internal", Detail: err.Error()})
 		return http.StatusInternalServerError, blob
 	}
-	rs := s.sampler.Sample(ep, sr.Reads)
+	rs, share, err := s.batcher.SubmitCosted(req.Context(), ep, sr.Reads)
+	if err != nil {
+		// share is what the device actually ran for this request (0 unless
+		// the client abandoned a batch already programmed); refund the rest.
+		s.tenants.RefundDevice(tenant, cost-share)
+		s.m.deviceBusyNs.Add(share.Nanoseconds())
+		var pe *qbatch.PackError
+		if errors.As(err, &pe) {
+			return fail(http.StatusBadRequest, "bad_topology", pe.Error())
+		}
+		return fail(http.StatusServiceUnavailable, "cancelled", err.Error())
+	}
+	s.tenants.RefundDevice(tenant, cost-share)
 	s.m.qpuSamples.Inc()
-	s.m.deviceBusyNs.Add(cost.Nanoseconds())
+	s.m.deviceBusyNs.Add(share.Nanoseconds())
 	blob, err := json.Marshal(qpu.EncodeReadSet(&rs))
 	if err != nil {
 		blob, _ = json.Marshal(qpu.WireErrorBody{Error: "internal", Detail: err.Error()})

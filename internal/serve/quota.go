@@ -225,6 +225,26 @@ func (t *tenants) ChargeDevice(name string, cost time.Duration) error {
 	return &QuotaError{Tenant: name, Resource: "device_time", RetryAfter: wait}
 }
 
+// RefundDevice returns unspent device time to the tenant's bucket, clamped
+// to capacity. The batching sample path pre-charges the full solo access
+// time and refunds the difference to the actual pro-rata share once the
+// batched program has run.
+func (t *tenants) RefundDevice(name string, amount time.Duration) {
+	if amount <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := t.byName[name]
+	if ts == nil {
+		return
+	}
+	ts.device.balance += amount
+	if ts.device.balance > ts.device.capacity {
+		ts.device.balance = ts.device.capacity
+	}
+}
+
 // Names returns the registered tenant names, sorted, for status reporting.
 func (t *tenants) Names() []string {
 	t.mu.Lock()

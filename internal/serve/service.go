@@ -23,7 +23,9 @@ import (
 	"hyqsat/internal/cnf"
 	"hyqsat/internal/hyqsat"
 	"hyqsat/internal/obs"
+	"hyqsat/internal/qbatch"
 	"hyqsat/internal/sat"
+	"hyqsat/internal/topo"
 )
 
 // Config configures a Service. The zero value is usable: every field has a
@@ -59,6 +61,20 @@ type Config struct {
 	MaxBody int64
 	// SampleSeed seeds the /v1/qpu/sample sampler (default 1).
 	SampleSeed int64
+	// BatchWindow is the QPU batching window: concurrent sample requests and
+	// job-solve QA accesses arriving within it are co-tiled onto one device
+	// program, each charged a pro-rata share of the one program's access
+	// time. 0 selects qbatch.DefaultWindow; negative disables batching (one
+	// program per request — the baseline the throughput bench compares
+	// against).
+	BatchWindow time.Duration
+	// BatchMaxMembers caps how many requests share one device program
+	// (default qbatch.DefaultMaxMembers).
+	BatchMaxMembers int
+	// BatchPace serializes device programs on a virtual device held for each
+	// program's modelled access time. Only the throughput bench sets this —
+	// it restores the shared-serial-device contention batching relieves.
+	BatchPace bool
 	// Now is the clock, injectable for quota tests.
 	Now func() time.Time
 	// Trace receives JobEvents and solver events; nil disables tracing.
@@ -91,6 +107,11 @@ func (c Config) withDefaults() Config {
 	if !c.HaveSolveDefaults {
 		c.Solve = hyqsat.SimulatorOptions()
 		c.Solve.SelfCertify = true
+	}
+	if c.Solve.Hardware == nil {
+		// Pin the topology here so the batching scheduler and every job's
+		// solver agree on the hardware graph they co-tile.
+		c.Solve.Hardware = topo.DWave2000Q()
 	}
 	if c.SolveTimeout == 0 {
 		c.SolveTimeout = 2 * time.Minute
@@ -139,6 +160,13 @@ type Service struct {
 	sampler *anneal.Sampler // serves /v1/qpu/sample; safe for concurrent use
 	samples *idemCache      // response replay cache for the sample endpoint
 
+	// batcher is the shared QPU access path: the sample endpoint and the job
+	// workers' hybrid solves all submit through it, so concurrent requests
+	// from either side co-tile onto one device program.
+	batcher *qbatch.Scheduler
+	// satPool recycles CDCL solver state across jobs on the worker hot path.
+	satPool *sat.Pool
+
 	m serviceMetrics
 }
 
@@ -186,6 +214,15 @@ func New(cfg Config) *Service {
 			deviceBusyNs: reg.Counter("serve_qpu_device_ns"),
 		},
 	}
+	s.satPool = sat.NewPool()
+	s.batcher = qbatch.New(s.sampler, cfg.Solve.Hardware, qbatch.Config{
+		Window:     cfg.BatchWindow,
+		MaxMembers: cfg.BatchMaxMembers,
+		Timing:     cfg.Solve.Timing,
+		Pace:       cfg.BatchPace,
+		Trace:      cfg.Trace,
+		Metrics:    reg,
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -393,7 +430,17 @@ func (s *Service) run(j *job) {
 	opts.Seed = j.req.Seed
 	opts.Trace = s.trace
 	opts.SolveID = j.id
-	r := hyqsat.New(j.formula, opts).SolveContext(ctx)
+	// Jobs share the service's batching QPU scheduler — their QA accesses
+	// co-tile with each other and with /v1/qpu/sample traffic — and draw
+	// their CDCL core from the solver pool. QA guidance only steers
+	// heuristics, so sharing the device never affects verdict correctness.
+	if opts.Backend == nil {
+		opts.Backend = s.batcher
+	}
+	opts.SatPool = s.satPool
+	solver := hyqsat.New(j.formula, opts)
+	r := solver.SolveContext(ctx)
+	solver.Release()
 
 	j.mu.Lock()
 	j.ended = s.cfg.Now()
